@@ -1,0 +1,127 @@
+// Ablation A6: consistent weighted sampling (ICWS, related work [10]) —
+// accuracy vs sketch size, and the static-rebuild cost that motivates
+// streaming sketches.
+//
+// Two panels:
+//   1. Accuracy: ICWS match-rate vs exact generalized Jaccard over a sweep
+//     of sketch sizes k, on synthetic heavy-tailed weighted vectors —
+//     the error shrinks as 1/√k (the CWS guarantee).
+//   2. Cost: time to (re)build an ICWS sketch after a weight update versus
+//     a VOS O(1) streaming update at equal per-user memory — the reason §I
+//     groups weighted minwise methods with the static-dataset approaches.
+// Flags: --pairs (200) --items (300) --csv.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/vos_sketch.h"
+#include "weighted/icws.h"
+
+namespace vos::bench {
+namespace {
+
+weighted::WeightedSet RandomVector(Rng& rng, uint32_t items, double share,
+                                   const weighted::WeightedSet* base) {
+  weighted::WeightedSet set;
+  for (uint32_t i = 0; i < items; ++i) {
+    if (base != nullptr && rng.NextBernoulli(share)) {
+      // Copy a correlated weight from the base vector.
+      const auto item = static_cast<stream::ItemId>(i);
+      const double w = base->Weight(item);
+      if (w > 0) set.Set(item, w * (0.5 + rng.NextDouble()));
+      continue;
+    }
+    if (rng.NextBernoulli(0.7)) {
+      set.Set(i + (base ? 1000000 : 0), 0.1 + 5.0 * rng.NextDouble());
+    }
+  }
+  return set;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags = ParseFlagsOrDie(argc, argv,
+                                "[--pairs=200] [--items=300] [--csv=]");
+  PrintBanner("Ablation A6: ICWS accuracy vs k, and rebuild-vs-stream cost",
+              flags);
+  const auto pairs = static_cast<size_t>(flags.GetInt("pairs", 200));
+  const auto items = static_cast<uint32_t>(flags.GetInt("items", 300));
+
+  // Panel 1: mean |estimate − exact| over random correlated vector pairs.
+  const std::vector<std::string> header = {"k", "mean_abs_error",
+                                           "rms_error"};
+  TablePrinter table(header);
+  std::vector<std::vector<std::string>> rows;
+  Rng rng(2025);
+  std::vector<std::pair<weighted::WeightedSet, weighted::WeightedSet>> data;
+  for (size_t p = 0; p < pairs; ++p) {
+    weighted::WeightedSet x = RandomVector(rng, items, 0.0, nullptr);
+    weighted::WeightedSet y = RandomVector(rng, items, 0.6, &x);
+    data.emplace_back(std::move(x), std::move(y));
+  }
+  for (uint32_t k : {16u, 64u, 256u, 1024u}) {
+    double abs_sum = 0, sq_sum = 0;
+    for (size_t p = 0; p < data.size(); ++p) {
+      const double exact =
+          weighted::GeneralizedJaccard(data[p].first, data[p].second);
+      weighted::IcwsSketch a(data[p].first, k, 100 + p);
+      weighted::IcwsSketch b(data[p].second, k, 100 + p);
+      const double err =
+          weighted::IcwsSketch::EstimateJaccard(a, b) - exact;
+      abs_sum += std::fabs(err);
+      sq_sum += err * err;
+    }
+    std::vector<std::string> row = {
+        TablePrinter::FormatInt(k),
+        TablePrinter::FormatDouble(abs_sum / data.size(), 4),
+        TablePrinter::FormatDouble(std::sqrt(sq_sum / data.size()), 4)};
+    table.AddRow(row);
+    rows.push_back(std::move(row));
+  }
+  EmitTable(flags, table, header, rows);
+
+  // Panel 2: one weight update = full ICWS rebuild vs one VOS bit flip.
+  const uint32_t k_icws = 256;
+  weighted::WeightedSet victim = RandomVector(rng, items, 0.0, nullptr);
+  WallTimer rebuild_timer;
+  constexpr int kRebuilds = 50;
+  for (int i = 0; i < kRebuilds; ++i) {
+    victim.Set(1, 1.0 + i);  // one weight changes...
+    weighted::IcwsSketch rebuilt(victim, k_icws, 9);  // ...full rebuild
+    (void)rebuilt;
+  }
+  const double rebuild_us =
+      rebuild_timer.ElapsedSeconds() * 1e6 / kRebuilds;
+
+  core::VosConfig config;
+  config.k = 8192;
+  config.m = 1 << 20;
+  core::VosSketch vos(config, 4);
+  WallTimer stream_timer;
+  constexpr int kUpdates = 200000;
+  for (int i = 0; i < kUpdates; ++i) {
+    // Feasible churn: insert item i/2, then delete it on the next step.
+    vos.Update({0, static_cast<stream::ItemId>(i / 2),
+                i % 2 == 0 ? stream::Action::kInsert
+                           : stream::Action::kDelete});
+  }
+  const double update_ns = stream_timer.ElapsedSeconds() * 1e9 / kUpdates;
+
+  std::printf(
+      "\none weight update: ICWS rebuild (k=%u, %u items) = %.1f µs;  "
+      "VOS streaming update = %.1f ns  (≈ %.0fx)\n",
+      k_icws, items, rebuild_us, update_ns,
+      rebuild_us * 1000.0 / update_ns);
+  std::printf(
+      "\nexpected shape: ICWS error ∝ 1/sqrt(k) (static-dataset guarantee); "
+      "its per-update cost is a full rebuild, which is why §I groups "
+      "weighted minwise methods with the static approaches VOS replaces.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vos::bench
+
+int main(int argc, char** argv) { return vos::bench::Run(argc, argv); }

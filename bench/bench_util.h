@@ -1,0 +1,85 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every fig*/ablation* binary follows the same skeleton: parse flags,
+// resolve a dataset (optionally scaled), run, print an aligned table, and
+// optionally mirror the rows into a CSV (--csv=<path>). This header keeps
+// that skeleton in one place; the per-figure logic stays in each binary.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv_writer.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "stream/dataset.h"
+
+namespace vos::bench {
+
+/// Parses flags or exits with the error and a usage hint.
+inline Flags ParseFlagsOrDie(int argc, char** argv, const char* usage) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\nusage: %s %s\n",
+                 flags.status().ToString().c_str(), argv[0], usage);
+    std::exit(2);
+  }
+  return *std::move(flags);
+}
+
+/// Resolves `--dataset` (+ optional `--scale`) to a generated stream, or
+/// exits. `def` is the default dataset name.
+inline stream::GraphStream DatasetOrDie(const Flags& flags,
+                                        const std::string& def) {
+  const std::string name = flags.GetString("dataset", def);
+  auto spec = stream::GetDatasetSpec(name);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
+    std::exit(2);
+  }
+  const double scale = flags.GetDouble("scale", 1.0);
+  if (scale != 1.0) *spec = stream::ScaleSpec(*spec, scale);
+  return stream::GenerateDataset(*spec);
+}
+
+/// Prints the table and mirrors it to --csv if given.
+inline void EmitTable(const Flags& flags, const TablePrinter& table,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::fputs(table.ToString().c_str(), stdout);
+  const std::string csv_path = flags.GetString("csv", "");
+  if (csv_path.empty()) return;
+  auto csv = CsvWriter::Open(csv_path, header);
+  if (!csv.ok()) {
+    std::fprintf(stderr, "warning: %s\n", csv.status().ToString().c_str());
+    return;
+  }
+  for (const auto& row : rows) {
+    if (auto s = csv->WriteRow(row); !s.ok()) {
+      std::fprintf(stderr, "warning: %s\n", s.ToString().c_str());
+      return;
+    }
+  }
+  (void)csv->Close();
+  std::printf("\n(csv mirrored to %s)\n", csv_path.c_str());
+}
+
+/// Standard experiment banner: what this binary reproduces and with which
+/// configuration, so the raw output is self-describing in EXPERIMENTS.md.
+inline void PrintBanner(const std::string& title, const Flags& flags) {
+  std::printf("=== %s ===\n", title.c_str());
+  if (!flags.values().empty()) {
+    std::printf("flags:");
+    for (const auto& [k, v] : flags.values()) {
+      std::printf(" --%s=%s", k.c_str(), v.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace vos::bench

@@ -1,0 +1,10 @@
+// Reproduces Figure 3(a): AAPE of the common-item estimate ŝ_uv over time t
+// on the YouTube stand-in, k = 100, equal memory m = 32·k·|U| bits, λ = 2.
+
+#include "bench/fig3_common.h"
+
+int main(int argc, char** argv) {
+  return vos::bench::RunTimeSeriesPanel(
+      argc, argv, vos::bench::Fig3Metric::kAape,
+      "Figure 3(a): AAPE of common-item estimates over time (YouTube)");
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 3(b): AAPE of the common-item estimate ŝ_uv at the end
+// of the stream on all four datasets, k = 100, equal memory, λ = 2.
+
+#include "bench/fig3_common.h"
+
+int main(int argc, char** argv) {
+  return vos::bench::RunDatasetsPanel(
+      argc, argv, vos::bench::Fig3Metric::kAape,
+      "Figure 3(b): final AAPE of common-item estimates on all datasets");
+}

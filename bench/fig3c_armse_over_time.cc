@@ -1,0 +1,10 @@
+// Reproduces Figure 3(c): ARMSE of the Jaccard estimate Ĵ(S_u, S_v) over
+// time t on the YouTube stand-in, k = 100, equal memory, λ = 2.
+
+#include "bench/fig3_common.h"
+
+int main(int argc, char** argv) {
+  return vos::bench::RunTimeSeriesPanel(
+      argc, argv, vos::bench::Fig3Metric::kArmse,
+      "Figure 3(c): ARMSE of Jaccard estimates over time (YouTube)");
+}

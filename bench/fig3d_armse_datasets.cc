@@ -1,0 +1,10 @@
+// Reproduces Figure 3(d): ARMSE of the Jaccard estimate Ĵ(S_u, S_v) at the
+// end of the stream on all four datasets, k = 100, equal memory, λ = 2.
+
+#include "bench/fig3_common.h"
+
+int main(int argc, char** argv) {
+  return vos::bench::RunDatasetsPanel(
+      argc, argv, vos::bench::Fig3Metric::kArmse,
+      "Figure 3(d): final ARMSE of Jaccard estimates on all datasets");
+}

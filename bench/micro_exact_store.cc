@@ -1,0 +1,84 @@
+// Micro-benchmarks (M3) for the exact substrate: the ground-truth side of
+// every accuracy experiment. Establishes that the evaluation harness (not
+// the sketches) dominates checkpoint cost, and by how much batch truth
+// computation beats per-pair intersection.
+
+#include <benchmark/benchmark.h>
+
+#include "exact/exact_store.h"
+#include "exact/ground_truth.h"
+#include "exact/pair_selection.h"
+#include "stream/dataset.h"
+
+namespace vos::exact {
+namespace {
+
+const stream::GraphStream& ToyStream() {
+  static const stream::GraphStream stream = [] {
+    auto s = stream::GenerateDatasetByName("toy");
+    VOS_CHECK(s.ok());
+    return *std::move(s);
+  }();
+  return stream;
+}
+
+/// A store loaded with the full toy stream.
+const ExactStore& LoadedStore() {
+  static const ExactStore store = [] {
+    ExactStore s(ToyStream().num_users());
+    for (const stream::Element& e : ToyStream().elements()) s.Update(e);
+    return s;
+  }();
+  return store;
+}
+
+void BM_ExactStoreUpdate(benchmark::State& state) {
+  const stream::GraphStream& stream = ToyStream();
+  ExactStore store(stream.num_users());
+  size_t t = 0;
+  for (auto _ : state) {
+    store.Update(stream[t]);
+    if (++t == stream.size()) t = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactStoreUpdate);
+
+void BM_PairwiseCommonItems(benchmark::State& state) {
+  const ExactStore& store = LoadedStore();
+  const auto users = TopCardinalityUsers(store, 32);
+  size_t i = 0;
+  for (auto _ : state) {
+    const UserId u = users[i % users.size()];
+    const UserId v = users[(i + 7) % users.size()];
+    benchmark::DoNotOptimize(store.CommonItems(u, v));
+    ++i;
+  }
+}
+BENCHMARK(BM_PairwiseCommonItems);
+
+void BM_BatchPairTruths(benchmark::State& state) {
+  const ExactStore& store = LoadedStore();
+  const auto users = TopCardinalityUsers(store,
+                                         static_cast<size_t>(state.range(0)));
+  const auto pairs = PairsWithCommonItems(store, users, 0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePairTruths(store, pairs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_BatchPairTruths)->Arg(32)->Arg(100);
+
+void BM_TopCardinalitySelection(benchmark::State& state) {
+  const ExactStore& store = LoadedStore();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopCardinalityUsers(store, 100));
+  }
+}
+BENCHMARK(BM_TopCardinalitySelection);
+
+}  // namespace
+}  // namespace vos::exact
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Churn monitoring with VosDrift: compare two snapshots of one sketch to
+// find the users whose subscription sets turned over the most — without
+// storing any per-user item state.
+//
+// The operational pattern: a long-running ingester snapshots its VOS sketch
+// (core/vos_io.h) every reporting period; the monitor XORs consecutive
+// snapshots (A(t1) ⊕ A(t2) is exactly the VOS array of the in-between
+// sub-stream) and ranks users by estimated |S(t1) Δ S(t2)|. Here we build
+// the two snapshots in-process from the first and second halves of a
+// dynamic stream and verify the top-churn report against exact truth.
+//
+// Run: ./build/examples/churn_monitoring
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/vos_drift.h"
+#include "core/vos_sketch.h"
+#include "exact/exact_store.h"
+#include "stream/dataset.h"
+
+int main() {
+  auto generated = vos::stream::GenerateDatasetByName("toy");
+  VOS_CHECK(generated.ok()) << generated.status().ToString();
+  const vos::stream::GraphStream& stream = *generated;
+
+  vos::core::VosConfig config;
+  config.k = 6400;
+  config.m = uint64_t{1} << 22;
+  vos::core::VosSketch sketch(config, stream.num_users());
+
+  // Exact stores at the two snapshot times, for verification only.
+  vos::exact::ExactStore exact_t1(stream.num_users());
+  vos::exact::ExactStore exact_t2(stream.num_users());
+
+  const size_t t1 = stream.size() / 2;
+  for (size_t t = 0; t < t1; ++t) {
+    sketch.Update(stream[t]);
+    exact_t1.Update(stream[t]);
+    exact_t2.Update(stream[t]);
+  }
+  const vos::core::VosSketch snapshot_t1 = sketch;  // periodic snapshot
+
+  for (size_t t = t1; t < stream.size(); ++t) {
+    sketch.Update(stream[t]);
+    exact_t2.Update(stream[t]);
+  }
+
+  const vos::core::VosDrift drift(snapshot_t1, sketch);
+  std::printf("delta-array fill beta = %.4f (estimates reliable while "
+              "beta << 0.5)\n\n",
+              drift.delta_beta());
+
+  // Rank users by estimated churn.
+  struct Row {
+    vos::stream::UserId user;
+    double estimated;
+  };
+  std::vector<Row> rows;
+  for (vos::stream::UserId u = 0; u < stream.num_users(); ++u) {
+    rows.push_back({u, drift.EstimateDrift(u)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.estimated > b.estimated; });
+
+  std::printf("top-10 churners (estimated vs exact |S(t1) delta S(t2)|):\n");
+  std::printf("%-6s %-12s %-8s %-11s\n", "user", "estimated", "exact",
+              "stability");
+  for (size_t r = 0; r < 10 && r < rows.size(); ++r) {
+    const vos::stream::UserId u = rows[r].user;
+    // Exact symmetric difference between the user's two snapshots.
+    size_t exact_churn = 0;
+    for (vos::stream::ItemId i : exact_t1.Items(u)) {
+      exact_churn += exact_t2.Items(u).count(i) == 0;
+    }
+    for (vos::stream::ItemId i : exact_t2.Items(u)) {
+      exact_churn += exact_t1.Items(u).count(i) == 0;
+    }
+    std::printf("%-6u %-12.1f %-8zu %-11.3f\n", u, rows[r].estimated,
+                exact_churn, drift.EstimateStability(u));
+  }
+  std::printf(
+      "\nno per-user item lists were kept — both columns derive from two "
+      "%zu-KiB sketch snapshots.\n",
+      sketch.MemoryBits() / 8192);
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "baselines/bbit_minwise.h"
+
+#include "common/logging.h"
+
+namespace vos::baseline {
+namespace {
+
+MinHashConfig InnerConfig(const BbitMinwiseConfig& config) {
+  MinHashConfig inner;
+  inner.k = config.k;
+  inner.hash_mode = config.hash_mode;
+  inner.seed = config.seed;
+  inner.options = config.options;
+  return inner;
+}
+
+}  // namespace
+
+BbitMinwise::BbitMinwise(const BbitMinwiseConfig& config, UserId num_users,
+                         uint64_t num_items)
+    : config_(config),
+      num_users_(num_users),
+      inner_(InnerConfig(config), num_users, num_items) {
+  VOS_CHECK(config.b >= 1 && config.b <= 32)
+      << "b must be in [1, 32], got" << config.b;
+}
+
+PairEstimate BbitMinwise::EstimatePair(UserId u, UserId v) const {
+  const uint32_t mask = config_.b >= 32
+                            ? 0xffffffffu
+                            : ((uint32_t{1} << config_.b) - 1);
+  uint32_t matches = 0;
+  uint32_t trials = 0;
+  for (uint32_t j = 0; j < config_.k; ++j) {
+    const MinRegister& ru = inner_.RegisterAt(u, j);
+    const MinRegister& rv = inner_.RegisterAt(v, j);
+    if (!ru.occupied() || !rv.occupied()) continue;
+    ++trials;
+    if ((ru.rank & mask) == (rv.rank & mask)) ++matches;
+  }
+  double jaccard = 0.0;
+  if (trials > 0) {
+    const double m = static_cast<double>(matches) / trials;
+    const double c = config_.b >= 32 ? 0.0 : 1.0 / (uint64_t{1} << config_.b);
+    jaccard = (m - c) / (1.0 - c);  // collision-corrected (Li & König)
+  }
+  return FromJaccard(jaccard, inner_.Cardinality(u), inner_.Cardinality(v),
+                     config_.options);
+}
+
+}  // namespace vos::baseline

@@ -1,0 +1,91 @@
+#include "baselines/hll_union.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+#include "hashing/hash64.h"
+#include "hashing/seeds.h"
+
+namespace vos::baseline {
+
+HllUnion::HllUnion(const HllUnionConfig& config, UserId num_users)
+    : config_(config),
+      num_users_(num_users),
+      registers_(static_cast<size_t>(num_users) * config.registers, 0),
+      cardinality_(num_users, 0) {
+  const uint32_t m = config.registers;
+  VOS_CHECK(m >= 16 && (m & (m - 1)) == 0)
+      << "HLL registers must be a power of two >= 16, got" << m;
+  // Flajolet et al.'s bias-correction constant.
+  switch (m) {
+    case 16:
+      alpha_m_ = 0.673;
+      break;
+    case 32:
+      alpha_m_ = 0.697;
+      break;
+    case 64:
+      alpha_m_ = 0.709;
+      break;
+    default:
+      alpha_m_ = 0.7213 / (1.0 + 1.079 / m);
+  }
+}
+
+void HllUnion::Update(const Element& e) {
+  if (e.action == Action::kDelete) {
+    VOS_DCHECK(cardinality_[e.user] > 0) << "deletion below zero" << e;
+    --cardinality_[e.user];
+    return;  // registers cannot forget — the documented failure mode
+  }
+  ++cardinality_[e.user];
+  const uint64_t h = hash::Hash64(e.item, hash::DeriveSeed(config_.seed, 1));
+  const int b = std::countr_zero(config_.registers);  // log2(registers)
+  const uint32_t bucket = static_cast<uint32_t>(h & (config_.registers - 1));
+  // Rank = 1-based position of the leftmost 1-bit in the remaining
+  // (64 − b)-bit word; (64 − b) + 1 when that word is zero.
+  const uint64_t w = h >> b;
+  const auto rank = static_cast<uint8_t>(
+      w == 0 ? (64 - b) + 1 : std::countl_zero(w) - b + 1);
+  uint8_t& reg =
+      registers_[static_cast<size_t>(e.user) * config_.registers + bucket];
+  reg = std::max(reg, rank);
+}
+
+double HllUnion::EstimateFromRegisters(const uint8_t* row_a,
+                                       const uint8_t* row_b) const {
+  const uint32_t m = config_.registers;
+  double inverse_sum = 0.0;
+  uint32_t zero_registers = 0;
+  for (uint32_t j = 0; j < m; ++j) {
+    const uint8_t reg =
+        row_b == nullptr ? row_a[j] : std::max(row_a[j], row_b[j]);
+    inverse_sum += std::ldexp(1.0, -reg);
+    zero_registers += (reg == 0);
+  }
+  double estimate = alpha_m_ * m * m / inverse_sum;
+  if (estimate <= 2.5 * m && zero_registers > 0) {
+    // Small-range correction: linear counting.
+    estimate = m * std::log(static_cast<double>(m) / zero_registers);
+  }
+  return estimate;
+}
+
+double HllUnion::EstimateCardinality(UserId u) const {
+  return EstimateFromRegisters(
+      &registers_[static_cast<size_t>(u) * config_.registers], nullptr);
+}
+
+PairEstimate HllUnion::EstimatePair(UserId u, UserId v) const {
+  const double union_estimate = EstimateFromRegisters(
+      &registers_[static_cast<size_t>(u) * config_.registers],
+      &registers_[static_cast<size_t>(v) * config_.registers]);
+  const double n_u = cardinality_[u];
+  const double n_v = cardinality_[v];
+  const double common = n_u + n_v - union_estimate;  // inclusion–exclusion
+  return FromCommon(common, n_u, n_v, config_.options);
+}
+
+}  // namespace vos::baseline

@@ -1,0 +1,81 @@
+// HyperLogLog union-cardinality baseline (extension).
+//
+// A natural "what about cardinality sketches?" comparator: keep one HLL per
+// user; estimate |S_u ∪ S_v| by merging (register-wise max) and derive
+//   ŝ = n_u + n_v − |Ŝ_u ∪ S_v|,   Ĵ = ŝ / |Ŝ_u ∪ S_v|
+// via inclusion–exclusion, using the exact per-user counters n_u that every
+// method in this library keeps.
+//
+// The instructive part is its *failure mode on deletions*: HLL registers
+// store maxima, which cannot be decremented, so an unsubscription leaves
+// the union estimate stuck at its historical high-water mark while
+// n_u + n_v shrinks — ŝ is progressively *underestimated* (often clamped
+// at 0) as deletions accumulate. This is the same one-way-ness that breaks
+// MinHash, in an even starker form, and the ablation bench quantifies it
+// against VOS's parity-exact deletions.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/estimate_util.h"
+#include "core/similarity_method.h"
+
+namespace vos::baseline {
+
+using core::Element;
+using core::PairEstimate;
+using core::UserId;
+using stream::Action;
+using stream::ItemId;
+
+/// Configuration of the per-user HLL sketches.
+struct HllUnionConfig {
+  /// Number of HLL registers per user (power of two, ≥ 16). Standard
+  /// relative error ≈ 1.04/sqrt(registers).
+  uint32_t registers = 256;
+  uint64_t seed = 23;
+  BaselineOptions options;
+};
+
+/// Per-user HyperLogLog sketches with union-based similarity estimates.
+class HllUnion : public core::SimilarityMethod {
+ public:
+  HllUnion(const HllUnionConfig& config, UserId num_users);
+
+  std::string Name() const override { return "HLL-union"; }
+
+  /// Insertions update the register maxima; deletions adjust only n_u —
+  /// the registers cannot forget (see header).
+  void Update(const Element& e) override;
+
+  PairEstimate EstimatePair(UserId u, UserId v) const override;
+
+  /// 6 bits per register would suffice; we model the standard dense HLL
+  /// at 8 bits/register for byte alignment.
+  size_t MemoryBits() const override {
+    return static_cast<size_t>(config_.registers) * 8 * num_users_;
+  }
+
+  /// Estimated |S_u| from the sketch alone (testing aid; pair estimates
+  /// use the exact counters per the class comment).
+  double EstimateCardinality(UserId u) const;
+
+  uint32_t Cardinality(UserId u) const { return cardinality_[u]; }
+
+ private:
+  /// Raw HLL estimate from a register row, with the standard small-range
+  /// (linear counting) correction.
+  double EstimateFromRegisters(const uint8_t* row_a,
+                               const uint8_t* row_b) const;
+
+  HllUnionConfig config_;
+  UserId num_users_;
+  double alpha_m_;  // HLL bias-correction constant for `registers`
+  std::vector<uint8_t> registers_;  // num_users × registers, row-major
+  std::vector<uint32_t> cardinality_;
+};
+
+}  // namespace vos::baseline

@@ -1,0 +1,59 @@
+#include "baselines/minhash.h"
+
+#include "common/logging.h"
+#include "hashing/seeds.h"
+
+namespace vos::baseline {
+
+MinHash::MinHash(const MinHashConfig& config, UserId num_users,
+                 uint64_t num_items)
+    : config_(config),
+      num_users_(num_users),
+      registers_(static_cast<size_t>(num_users) * config.k),
+      cardinality_(num_users, 0) {
+  VOS_CHECK(config.k >= 1) << "MinHash needs at least one register";
+  rank_functions_.reserve(config.k);
+  for (uint32_t j = 0; j < config.k; ++j) {
+    rank_functions_.emplace_back(config.hash_mode,
+                                 hash::DeriveSeed(config.seed, j), num_items);
+  }
+}
+
+void MinHash::Update(const Element& e) {
+  MinRegister* row = &registers_[static_cast<size_t>(e.user) * config_.k];
+  if (e.action == Action::kInsert) {
+    ++cardinality_[e.user];
+    for (uint32_t j = 0; j < config_.k; ++j) {
+      const uint32_t rank = rank_functions_[j].Rank(e.item);
+      if (rank < row[j].rank) {  // kEmptyRank compares larger than any rank
+        row[j].rank = rank;
+        row[j].item = e.item;
+      }
+    }
+  } else {
+    VOS_DCHECK(cardinality_[e.user] > 0) << "deletion below zero" << e;
+    --cardinality_[e.user];
+    for (uint32_t j = 0; j < config_.k; ++j) {
+      // §III case 2: the register's sampled item disappeared; the true new
+      // minimum is unrecoverable, so the register goes empty (bias source).
+      if (row[j].occupied() && row[j].item == e.item) row[j].Clear();
+    }
+  }
+}
+
+PairEstimate MinHash::EstimatePair(UserId u, UserId v) const {
+  const MinRegister* row_u = &registers_[static_cast<size_t>(u) * config_.k];
+  const MinRegister* row_v = &registers_[static_cast<size_t>(v) * config_.k];
+  uint32_t matches = 0;
+  for (uint32_t j = 0; j < config_.k; ++j) {
+    if (row_u[j].occupied() && row_v[j].occupied() &&
+        row_u[j].item == row_v[j].item) {
+      ++matches;
+    }
+  }
+  const double jaccard = static_cast<double>(matches) / config_.k;
+  return FromJaccard(jaccard, cardinality_[u], cardinality_[v],
+                     config_.options);
+}
+
+}  // namespace vos::baseline

@@ -1,0 +1,163 @@
+#include "baselines/oph.h"
+
+#include "common/logging.h"
+#include "hashing/seeds.h"
+#include "hashing/two_universal.h"
+
+namespace vos::baseline {
+
+std::string DensificationName(Densification d) {
+  switch (d) {
+    case Densification::kNone:
+      return "none";
+    case Densification::kRotationRight:
+      return "rotation-right";
+    case Densification::kRandomDirection:
+      return "random-direction";
+    case Densification::kOptimal:
+      return "optimal";
+  }
+  return "unknown";
+}
+
+Oph::Oph(const OphConfig& config, UserId num_users, uint64_t num_items)
+    : config_(config),
+      num_users_(num_users),
+      rank_function_(config.hash_mode, hash::DeriveSeed(config.seed, 0),
+                     num_items),
+      bins_(static_cast<size_t>(num_users) * config.k),
+      cardinality_(num_users, 0),
+      densify_seed_(hash::DeriveSeed(config.seed, 0xdeb5)) {
+  VOS_CHECK(config.k >= 1) << "OPH needs at least one bin";
+}
+
+std::string Oph::Name() const {
+  if (config_.densification == Densification::kNone) return "OPH";
+  return "OPH+" + DensificationName(config_.densification);
+}
+
+uint32_t Oph::BinOf(stream::ItemId item) const {
+  const uint64_t rank = rank_function_.Rank(item);
+  // floor(rank·k / p): equal-width bins over the rank domain [0, p).
+  return static_cast<uint32_t>(
+      (static_cast<__uint128_t>(rank) * config_.k) /
+      rank_function_.RankDomain());
+}
+
+void Oph::Update(const Element& e) {
+  const uint32_t j = BinOf(e.item);
+  MinRegister& bin = bins_[static_cast<size_t>(e.user) * config_.k + j];
+  if (e.action == Action::kInsert) {
+    ++cardinality_[e.user];
+    const uint32_t rank = rank_function_.Rank(e.item);
+    if (rank < bin.rank) {
+      bin.rank = rank;
+      bin.item = e.item;
+    }
+  } else {
+    VOS_DCHECK(cardinality_[e.user] > 0) << "deletion below zero" << e;
+    --cardinality_[e.user];
+    // §III: deleting the bin's sampled minimum empties the bin (bias).
+    if (bin.occupied() && bin.item == e.item) bin.Clear();
+  }
+}
+
+std::vector<MinRegister> Oph::DensifiedRow(UserId u) const {
+  const MinRegister* row = &bins_[static_cast<size_t>(u) * config_.k];
+  std::vector<MinRegister> out(row, row + config_.k);
+  if (config_.densification == Densification::kNone) return out;
+
+  const uint32_t k = config_.k;
+  auto fill_from = [&out](uint32_t empty_bin, uint32_t source_bin) {
+    out[empty_bin] = out[source_bin];
+  };
+
+  switch (config_.densification) {
+    case Densification::kNone:
+      break;
+    case Densification::kRotationRight: {
+      for (uint32_t j = 0; j < k; ++j) {
+        if (out[j].occupied()) continue;
+        for (uint32_t step = 1; step < k; ++step) {
+          const uint32_t src = (j + step) % k;
+          // Copy from the original (pre-densification) registers only.
+          if (row[src].occupied()) {
+            fill_from(j, src);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case Densification::kRandomDirection: {
+      for (uint32_t j = 0; j < k; ++j) {
+        if (out[j].occupied()) continue;
+        // Direction decided by a per-bin coin shared across users, so two
+        // users densify identically (required for the match estimator).
+        const bool go_right = (hash::Hash64(j, densify_seed_) & 1) != 0;
+        for (uint32_t step = 1; step < k; ++step) {
+          const uint32_t src =
+              go_right ? (j + step) % k : (j + k - step) % k;
+          if (row[src].occupied()) {
+            fill_from(j, src);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case Densification::kOptimal: {
+      for (uint32_t j = 0; j < k; ++j) {
+        if (out[j].occupied()) continue;
+        // Walk a per-(bin, attempt) universal hash sequence; identical
+        // across users. Bounded walk: k·8 attempts cannot fail unless the
+        // whole row is empty.
+        const uint64_t walk_seed = hash::DeriveSeed(densify_seed_, j);
+        for (uint32_t attempt = 0; attempt < 8 * k; ++attempt) {
+          const uint32_t src = static_cast<uint32_t>(
+              hash::ReduceToRange(hash::Hash64(attempt, walk_seed), k));
+          if (row[src].occupied()) {
+            fill_from(j, src);
+            break;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+PairEstimate Oph::EstimatePair(UserId u, UserId v) const {
+  double jaccard = 0.0;
+  if (config_.densification == Densification::kNone) {
+    const MinRegister* row_u = &bins_[static_cast<size_t>(u) * config_.k];
+    const MinRegister* row_v = &bins_[static_cast<size_t>(v) * config_.k];
+    uint32_t matches = 0;
+    uint32_t non_empty = 0;
+    for (uint32_t j = 0; j < config_.k; ++j) {
+      const bool occ_u = row_u[j].occupied();
+      const bool occ_v = row_v[j].occupied();
+      if (occ_u || occ_v) ++non_empty;
+      if (occ_u && occ_v && row_u[j].item == row_v[j].item) ++matches;
+    }
+    jaccard = non_empty == 0
+                  ? 0.0
+                  : static_cast<double>(matches) / non_empty;
+  } else {
+    const std::vector<MinRegister> row_u = DensifiedRow(u);
+    const std::vector<MinRegister> row_v = DensifiedRow(v);
+    uint32_t matches = 0;
+    for (uint32_t j = 0; j < config_.k; ++j) {
+      if (row_u[j].occupied() && row_v[j].occupied() &&
+          row_u[j].item == row_v[j].item) {
+        ++matches;
+      }
+    }
+    jaccard = static_cast<double>(matches) / config_.k;
+  }
+  return FromJaccard(jaccard, cardinality_[u], cardinality_[v],
+                     config_.options);
+}
+
+}  // namespace vos::baseline

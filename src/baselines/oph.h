@@ -1,0 +1,103 @@
+// One Permutation Hashing (Li, Owen, Zhang — NIPS'12) extended to fully
+// dynamic streams per §III, with optional densification variants.
+//
+// A single rank function h partitions the rank domain [0, p) into k equal
+// bins; bin j of user u holds the minimum-rank item of S_u whose rank falls
+// in bin j. Per element only the item's own bin is touched — O(1):
+//
+//   insert i: claim bin(h(i)) if i's rank is smaller or the bin is empty
+//   delete i: if the bin's stored item is i, the bin goes empty (the same
+//             unrecoverable-minimum bias as MinHash, §III)
+//
+// Estimator (paper): Ĵ = Σ 1(oph_j(S_u) = oph_j(S_v) ≠ ∅) /
+//                        Σ 1(oph_j(S_u) ≠ ∅ ∨ oph_j(S_v) ≠ ∅).
+//
+// Densification (extensions; related work [5][6][7]) fills empty bins at
+// query time from non-empty ones so the plain MinHash estimator Ĵ = M/k can
+// be used — useful for LSH indexing. Under deletions the filled values
+// inherit the deletion bias; the ablation bench A3 quantifies this.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/estimate_util.h"
+#include "baselines/register_common.h"
+#include "core/similarity_method.h"
+
+namespace vos::baseline {
+
+using core::Element;
+using core::PairEstimate;
+using core::UserId;
+using stream::Action;
+
+/// Query-time empty-bin filling scheme.
+enum class Densification : uint8_t {
+  /// No filling; the paper's OPH estimator over non-empty bins.
+  kNone = 0,
+  /// Shrivastava & Li, ICML'14: copy from the nearest non-empty bin to the
+  /// right (circularly).
+  kRotationRight = 1,
+  /// Shrivastava & Li, UAI'14: direction chosen per bin by an unbiased coin
+  /// (hash of the bin index), improving variance.
+  kRandomDirection = 2,
+  /// Shrivastava, ICML'17: each empty bin walks a 2-universal hash sequence
+  /// of source bins until it hits a non-empty one (optimal variance).
+  kOptimal = 3,
+};
+
+std::string DensificationName(Densification d);
+
+/// Configuration of the OPH baseline.
+struct OphConfig {
+  /// Number of bins.
+  uint32_t k = 100;
+  HashMode hash_mode = HashMode::kMixer;
+  Densification densification = Densification::kNone;
+  uint64_t seed = 11;
+  BaselineOptions options;
+};
+
+/// Dynamic OPH over all users of a stream.
+class Oph : public core::SimilarityMethod {
+ public:
+  Oph(const OphConfig& config, UserId num_users, uint64_t num_items);
+
+  std::string Name() const override;
+
+  void Update(const Element& e) override;
+
+  PairEstimate EstimatePair(UserId u, UserId v) const override;
+
+  /// Modeled memory: k registers of 32 bits per user (§V accounting).
+  size_t MemoryBits() const override {
+    return static_cast<size_t>(config_.k) * 32 * num_users_;
+  }
+
+  /// Bin register j of user u.
+  const MinRegister& BinAt(UserId u, uint32_t j) const {
+    return bins_[static_cast<size_t>(u) * config_.k + j];
+  }
+
+  /// The bin an item falls into: floor(rank·k / p).
+  uint32_t BinOf(stream::ItemId item) const;
+
+  uint32_t k() const { return config_.k; }
+  uint32_t Cardinality(UserId u) const { return cardinality_[u]; }
+
+  /// Returns user u's k bins after applying the configured densification
+  /// (identity copy for kNone). Exposed for tests and the ablation bench.
+  std::vector<MinRegister> DensifiedRow(UserId u) const;
+
+ private:
+  OphConfig config_;
+  UserId num_users_;
+  RankFunction rank_function_;
+  std::vector<MinRegister> bins_;  // num_users × k, row-major
+  std::vector<uint32_t> cardinality_;
+  uint64_t densify_seed_;
+};
+
+}  // namespace vos::baseline

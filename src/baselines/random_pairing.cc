@@ -1,0 +1,75 @@
+#include "baselines/random_pairing.h"
+
+#include "common/logging.h"
+
+namespace vos::baseline {
+
+RandomPairing::RandomPairing(const RandomPairingConfig& config,
+                             UserId num_users)
+    : config_(config),
+      num_users_(num_users),
+      slots_(static_cast<size_t>(num_users) * config.k),
+      cardinality_(num_users, 0),
+      rng_(config.seed) {
+  VOS_CHECK(config.k >= 1) << "RP needs at least one slot";
+}
+
+void RandomPairing::Update(const Element& e) {
+  Slot* row = &slots_[static_cast<size_t>(e.user) * config_.k];
+  if (e.action == Action::kInsert) {
+    const uint32_t n_after = ++cardinality_[e.user];
+    for (uint32_t j = 0; j < config_.k; ++j) {
+      Slot& slot = row[j];
+      const uint32_t d = slot.c1 + slot.c2;
+      if (d > 0) {
+        // Compensation phase: the insertion "pairs" with one uncompensated
+        // deletion; it enters the sample iff that deletion had been of the
+        // sampled item (probability c1/(c1+c2)).
+        if (rng_.NextBounded(d) < slot.c1) {
+          slot.item = e.item;
+          slot.occupied = true;
+          --slot.c1;
+        } else {
+          --slot.c2;
+        }
+      } else if (!slot.occupied) {
+        slot.item = e.item;
+        slot.occupied = true;
+      } else {
+        // Size-1 reservoir step over the n_after live items.
+        if (rng_.NextBounded(n_after) == 0) slot.item = e.item;
+      }
+    }
+  } else {
+    VOS_DCHECK(cardinality_[e.user] > 0) << "deletion below zero" << e;
+    --cardinality_[e.user];
+    for (uint32_t j = 0; j < config_.k; ++j) {
+      Slot& slot = row[j];
+      if (slot.occupied && slot.item == e.item) {
+        slot.occupied = false;
+        ++slot.c1;
+      } else {
+        ++slot.c2;
+      }
+    }
+  }
+}
+
+PairEstimate RandomPairing::EstimatePair(UserId u, UserId v) const {
+  const Slot* row_u = &slots_[static_cast<size_t>(u) * config_.k];
+  const Slot* row_v = &slots_[static_cast<size_t>(v) * config_.k];
+  uint32_t matches = 0;
+  for (uint32_t j = 0; j < config_.k; ++j) {
+    if (row_u[j].occupied && row_v[j].occupied &&
+        row_u[j].item == row_v[j].item) {
+      ++matches;
+    }
+  }
+  const double n_u = cardinality_[u];
+  const double n_v = cardinality_[v];
+  // ŝ = n_u·n_v/k · #matches (unbiased; see header).
+  const double common = n_u * n_v * static_cast<double>(matches) / config_.k;
+  return FromCommon(common, n_u, n_v, config_.options);
+}
+
+}  // namespace vos::baseline

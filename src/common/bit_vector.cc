@@ -1,0 +1,46 @@
+#include "common/bit_vector.h"
+
+#include <bit>
+
+namespace vos {
+
+size_t BitVector::HammingDistance(const BitVector& other) const {
+  VOS_CHECK(num_bits_ == other.num_bits_)
+      << "size mismatch:" << num_bits_ << "vs" << other.num_bits_;
+  size_t distance = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    distance += std::popcount(words_[w] ^ other.words_[w]);
+  }
+  return distance;
+}
+
+BitVector BitVector::FromWords(size_t num_bits,
+                               std::vector<uint64_t> words) {
+  VOS_CHECK(words.size() == (num_bits + 63) / 64)
+      << "word count" << words.size() << "does not match" << num_bits
+      << "bits";
+  if (num_bits % 64 != 0 && !words.empty()) {
+    const uint64_t tail_mask = (uint64_t{1} << (num_bits % 64)) - 1;
+    VOS_CHECK((words.back() & ~tail_mask) == 0)
+        << "non-zero bits beyond num_bits in serialized payload";
+  }
+  BitVector out;
+  out.num_bits_ = num_bits;
+  out.words_ = std::move(words);
+  out.ones_ = 0;
+  for (uint64_t w : out.words_) out.ones_ += std::popcount(w);
+  return out;
+}
+
+void BitVector::XorWith(const BitVector& other) {
+  VOS_CHECK(num_bits_ == other.num_bits_)
+      << "size mismatch:" << num_bits_ << "vs" << other.num_bits_;
+  size_t new_ones = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] ^= other.words_[w];
+    new_ones += std::popcount(words_[w]);
+  }
+  ones_ = new_ones;
+}
+
+}  // namespace vos

@@ -1,0 +1,58 @@
+#include "common/csv_writer.h"
+
+namespace vos {
+
+StatusOr<CsvWriter> CsvWriter::Open(const std::string& path,
+                                    const std::vector<std::string>& header) {
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header must not be empty");
+  }
+  CsvWriter writer;
+  writer.out_.open(path, std::ios::out | std::ios::trunc);
+  if (!writer.out_.is_open()) {
+    return Status::IoError("cannot open CSV file for writing: " + path);
+  }
+  writer.arity_ = header.size();
+  VOS_RETURN_IF_ERROR(writer.WriteRow(header));
+  return writer;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("CSV writer is closed");
+  }
+  if (cells.size() != arity_) {
+    return Status::InvalidArgument("CSV row arity mismatch");
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeCell(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) return Status::IoError("CSV write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("CSV writer already closed");
+  }
+  out_.close();
+  if (out_.fail()) return Status::IoError("CSV close failed");
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace vos

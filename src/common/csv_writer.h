@@ -1,0 +1,41 @@
+// CSV output for benchmark series, so results can be re-plotted externally.
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vos {
+
+/// Streams rows to a CSV file with RFC-4180 quoting.
+///
+/// The bench binaries optionally mirror their printed tables into CSV files
+/// (flag `--csv=<path>`) for downstream plotting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  static StatusOr<CsvWriter> Open(const std::string& path,
+                                  const std::vector<std::string>& header);
+
+  /// Appends one row; must match the header arity.
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes the file; further writes are errors.
+  Status Close();
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+ private:
+  CsvWriter() = default;
+
+  static std::string EscapeCell(const std::string& cell);
+
+  std::ofstream out_;
+  size_t arity_ = 0;
+};
+
+}  // namespace vos

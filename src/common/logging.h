@@ -1,0 +1,67 @@
+// Lightweight assertion and logging macros.
+//
+// VOS_CHECK(cond)  — always-on invariant; aborts with a message on failure.
+// VOS_DCHECK(cond) — debug-only (compiled out in NDEBUG builds); used on hot
+//                    paths where the check would cost measurable time.
+//
+// Both support streaming extra context: VOS_CHECK(a < b) << "a=" << a;
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace vos {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+///
+/// Instantiated only on the failure path of VOS_CHECK, so the happy path
+/// costs a single predictable branch.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a debug check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace vos
+
+#define VOS_CHECK(cond)                                         \
+  if (cond) {                                                   \
+  } else /* NOLINT */                                           \
+    ::vos::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define VOS_DCHECK(cond) \
+  if (true) {            \
+  } else /* NOLINT */    \
+    ::vos::internal::NullStream()
+#else
+#define VOS_DCHECK(cond) VOS_CHECK(cond)
+#endif

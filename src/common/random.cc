@@ -1,0 +1,27 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vos {
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) {
+  VOS_CHECK(n >= 1) << "ZipfSampler needs at least one rank";
+  VOS_CHECK(alpha >= 0.0) << "Zipf exponent must be non-negative, got" << alpha;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding shortfall
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace vos

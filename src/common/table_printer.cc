@@ -1,0 +1,70 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace vos {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size();
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VOS_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  VOS_CHECK(cells.size() == header_.size())
+      << "row arity" << cells.size() << "!= header arity" << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  std::vector<bool> numeric(header_.size(), true);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!LooksNumeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      const size_t pad = widths[c] - row[c].size();
+      if (align_right && numeric[c]) out << std::string(pad, ' ') << row[c];
+      else out << row[c] << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(header_, /*align_right=*/false);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row, /*align_right=*/true);
+  return out.str();
+}
+
+std::string TablePrinter::FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::FormatInt(int64_t v) { return std::to_string(v); }
+
+}  // namespace vos

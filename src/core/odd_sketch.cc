@@ -1,0 +1,36 @@
+#include "core/odd_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vos::core {
+
+OddSketch::OddSketch(uint32_t k, uint64_t seed) : seed_(seed), bits_(k) {
+  VOS_CHECK(k >= 1) << "odd sketch needs at least one bit";
+}
+
+double OddSketch::EstimateSymmetricDifferenceFromAlpha(double alpha,
+                                                       uint32_t k) {
+  VOS_DCHECK(alpha >= 0.0 && alpha <= 1.0);
+  // E[alpha] = (1 − (1 − 2/k)^{nΔ}) / 2 < 1/2: alpha ≥ 1/2 means the sketch
+  // is saturated (nΔ ≫ k). Cap at the value an all-but-one-bit observation
+  // would give, so callers get a finite, monotone estimate.
+  const double arg = 1.0 - 2.0 * alpha;
+  const double floor_arg = 1.0 / (2.0 * k);
+  if (arg <= floor_arg) {
+    return -0.5 * k * std::log(floor_arg);
+  }
+  return -0.5 * k * std::log(arg);
+}
+
+double OddSketch::EstimateSymmetricDifference(const OddSketch& a,
+                                              const OddSketch& b) {
+  VOS_CHECK(a.k() == b.k()) << "sketch size mismatch";
+  VOS_CHECK(a.seed_ == b.seed_) << "sketches built with different ψ";
+  const double d = static_cast<double>(a.bits_.HammingDistance(b.bits_));
+  return EstimateSymmetricDifferenceFromAlpha(d / a.k(), a.k());
+}
+
+}  // namespace vos::core

@@ -1,0 +1,76 @@
+#include "core/similarity_index.h"
+
+#include <algorithm>
+
+namespace vos::core {
+
+SimilarityIndex::SimilarityIndex(const VosSketch& sketch,
+                                 VosEstimatorOptions options)
+    : sketch_(&sketch), estimator_(sketch.config().k, options) {}
+
+void SimilarityIndex::Rebuild(std::vector<UserId> candidates) {
+  candidates_ = std::move(candidates);
+  digests_.clear();
+  digests_.reserve(candidates_.size());
+  cardinalities_.clear();
+  cardinalities_.reserve(candidates_.size());
+  for (UserId u : candidates_) {
+    digests_.push_back(sketch_->ExtractUserSketch(u));
+    cardinalities_.push_back(sketch_->Cardinality(u));
+  }
+  beta_ = sketch_->beta();
+}
+
+PairEstimate SimilarityIndex::EstimateFromDigests(const BitVector& a,
+                                                  uint32_t card_a,
+                                                  const BitVector& b,
+                                                  uint32_t card_b) const {
+  const double alpha = static_cast<double>(a.HammingDistance(b)) /
+                       sketch_->config().k;
+  return estimator_.Estimate(card_a, card_b, alpha, beta_);
+}
+
+std::vector<SimilarityIndex::Entry> SimilarityIndex::TopK(UserId query,
+                                                          size_t k) const {
+  const BitVector query_digest = sketch_->ExtractUserSketch(query);
+  const uint32_t query_card = sketch_->Cardinality(query);
+
+  std::vector<Entry> entries;
+  entries.reserve(candidates_.size());
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (candidates_[i] == query) continue;
+    const PairEstimate est = EstimateFromDigests(
+        query_digest, query_card, digests_[i], cardinalities_[i]);
+    entries.push_back({candidates_[i], est.common, est.jaccard});
+  }
+  const size_t take = std::min(k, entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + take, entries.end(),
+                    [](const Entry& a, const Entry& b) {
+                      return a.jaccard != b.jaccard ? a.jaccard > b.jaccard
+                                                    : a.user < b.user;
+                    });
+  entries.resize(take);
+  return entries;
+}
+
+std::vector<SimilarityIndex::Pair> SimilarityIndex::AllPairsAbove(
+    double jaccard_threshold) const {
+  std::vector<Pair> pairs;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    for (size_t j = i + 1; j < candidates_.size(); ++j) {
+      const PairEstimate est = EstimateFromDigests(
+          digests_[i], cardinalities_[i], digests_[j], cardinalities_[j]);
+      if (est.jaccard >= jaccard_threshold) {
+        pairs.push_back({candidates_[i], candidates_[j], est.common,
+                         est.jaccard});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.jaccard != b.jaccard) return a.jaccard > b.jaccard;
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return pairs;
+}
+
+}  // namespace vos::core

@@ -1,0 +1,75 @@
+// SimilarityIndex: batch similarity queries over a VOS sketch.
+//
+// The sketch answers one pair in O(k); applications usually want "who is
+// most similar to u?" or "all pairs above J ≥ τ" over a candidate set
+// (e.g. the currently active users). The index snapshots each candidate's
+// reconstructed digest once (O(k) hashes per candidate), after which every
+// pair costs a single word-parallel Hamming distance — the same
+// amortization the evaluation harness uses, packaged as a public API.
+//
+// The index is a *snapshot*: estimates reflect the sketch state at the
+// last Rebuild(). Rebuild after ingesting more stream (cheap relative to
+// re-scanning pairs).
+
+#pragma once
+
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "core/vos_estimator.h"
+#include "core/vos_sketch.h"
+
+namespace vos::core {
+
+/// Snapshot index over a candidate set of users.
+class SimilarityIndex {
+ public:
+  /// One query answer.
+  struct Entry {
+    UserId user = 0;       ///< the matched candidate
+    double common = 0.0;   ///< ŝ (estimated common items with the query)
+    double jaccard = 0.0;  ///< Ĵ
+  };
+
+  /// One thresholded pair (AllPairsAbove).
+  struct Pair {
+    UserId u = 0;
+    UserId v = 0;
+    double common = 0.0;
+    double jaccard = 0.0;
+  };
+
+  /// Binds to `sketch` (not owned; must outlive the index).
+  explicit SimilarityIndex(const VosSketch& sketch,
+                           VosEstimatorOptions options = {});
+
+  /// Snapshots digests, cardinalities and β for `candidates`.
+  void Rebuild(std::vector<UserId> candidates);
+
+  /// The `k` candidates most similar to `query` (by Ĵ, descending;
+  /// excluding the query itself if present among candidates). `query` need
+  /// not be a candidate — its digest is extracted on the fly.
+  std::vector<Entry> TopK(UserId query, size_t k) const;
+
+  /// All unordered candidate pairs with Ĵ ≥ `jaccard_threshold`,
+  /// descending by Ĵ. O(candidates²) Hamming scans.
+  std::vector<Pair> AllPairsAbove(double jaccard_threshold) const;
+
+  size_t candidate_count() const { return candidates_.size(); }
+
+  /// β captured at the last Rebuild (exposed for diagnostics).
+  double snapshot_beta() const { return beta_; }
+
+ private:
+  PairEstimate EstimateFromDigests(const BitVector& a, uint32_t card_a,
+                                   const BitVector& b, uint32_t card_b) const;
+
+  const VosSketch* sketch_;
+  VosEstimator estimator_;
+  std::vector<UserId> candidates_;
+  std::vector<BitVector> digests_;
+  std::vector<uint32_t> cardinalities_;
+  double beta_ = 0.0;
+};
+
+}  // namespace vos::core

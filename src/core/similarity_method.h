@@ -1,0 +1,64 @@
+// The common interface every similarity-estimation method implements.
+//
+// The paper compares four methods — VOS (its contribution), MinHash, OPH and
+// RP — on identical streams under an equal memory budget. The harness drives
+// them all through this interface: stream elements in via Update() (the
+// operation whose cost Figure 2 measures), pair estimates out via
+// EstimatePair() (whose accuracy Figure 3 measures).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace vos::core {
+
+using stream::Element;
+using stream::UserId;
+
+/// A method's answer for one user pair at the current time.
+struct PairEstimate {
+  /// ŝ_uv — estimated number of common items.
+  double common = 0.0;
+  /// Ĵ(S_u, S_v) — estimated Jaccard coefficient.
+  double jaccard = 0.0;
+};
+
+/// Streaming user-similarity estimator over fully dynamic graph streams.
+///
+/// Implementations maintain per-user cardinality counters n_u internally
+/// (the paper notes all methods keep these; they are excluded from the
+/// sketch memory budget because every method pays the identical cost).
+class SimilarityMethod {
+ public:
+  virtual ~SimilarityMethod() = default;
+
+  /// Human-readable method name ("VOS", "MinHash", …) used in tables.
+  virtual std::string Name() const = 0;
+
+  /// Processes one stream element (u, i, ±).
+  virtual void Update(const Element& e) = 0;
+
+  /// Estimates (ŝ_uv, Ĵ_uv) for the pair at the current time.
+  virtual PairEstimate EstimatePair(UserId u, UserId v) const = 0;
+
+  /// Sketch memory in bits, for equal-memory comparisons. Excludes the
+  /// per-user cardinality counters shared by all methods (see class
+  /// comment).
+  virtual size_t MemoryBits() const = 0;
+
+  /// Optional batch hook called before a round of EstimatePair() calls for
+  /// `users`; lets methods precompute per-user digests (VOS materializes
+  /// its k reconstructed bits per tracked user once instead of per pair).
+  virtual void PrepareQuery(const std::vector<UserId>& users) {
+    (void)users;
+  }
+
+  /// Clears any cache built by PrepareQuery (called when the stream
+  /// advances past a checkpoint).
+  virtual void InvalidateQueryCache() {}
+};
+
+}  // namespace vos::core

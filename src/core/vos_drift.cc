@@ -1,0 +1,51 @@
+#include "core/vos_drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vos::core {
+
+VosDrift::VosDrift(const VosSketch& before, const VosSketch& after,
+                   VosEstimatorOptions options)
+    : after_(&after),
+      estimator_(after.config().k, options),
+      before_(&before),
+      delta_array_(before.array()) {
+  VOS_CHECK(before.IsCompatibleWith(after))
+      << "drift requires snapshots of the same sketch";
+  delta_array_.XorWith(after.array());
+  delta_beta_ = delta_array_.FractionOnes();
+}
+
+double VosDrift::EstimateDrift(UserId u) const {
+  const uint32_t k = after_->config().k;
+  uint32_t ones = 0;
+  for (uint32_t j = 0; j < k; ++j) {
+    ones += delta_array_.Get(after_->CellOf(u, j));
+  }
+  const double alpha = static_cast<double>(ones) / k;
+  // Single-digest contamination model: a reconstructed bit of the delta
+  // odd sketch is flipped with probability β_Δ, so
+  //   E[α] = (1 − (1−2β_Δ)·e^{−2·nΔ/k}) / 2
+  //   n̂Δ  = −(k/2)·(ln|1−2α| − ln|1−2β_Δ|).
+  const double floor = estimator_.options().log_arg_floor;
+  const double log_alpha =
+      std::log(std::max(std::fabs(1.0 - 2.0 * alpha), floor));
+  const double log_beta =
+      std::log(std::max(std::fabs(1.0 - 2.0 * delta_beta_), floor));
+  return std::max(0.0, -0.5 * k * (log_alpha - log_beta));
+}
+
+double VosDrift::EstimateStability(UserId u) const {
+  const double n1 = before_->Cardinality(u);
+  const double n2 = after_->Cardinality(u);
+  if (n1 + n2 == 0.0) return 1.0;  // empty before and after: unchanged
+  const double drift = EstimateDrift(u);
+  double s = 0.5 * (n1 + n2 - drift);
+  if (estimator_.options().clamp_to_feasible) {
+    s = std::clamp(s, 0.0, std::min(n1, n2));
+  }
+  return estimator_.JaccardFromCommon(s, n1, n2);
+}
+
+}  // namespace vos::core

@@ -1,0 +1,58 @@
+// VosDrift: per-user set drift between two snapshots of the same sketch.
+//
+// A library-level extension that falls out of the odd-sketch algebra: for
+// two snapshots A(t1), A(t2) of one VosSketch (same config, same stream),
+// the XOR A(t1) ⊕ A(t2) is *exactly* the VOS array of the sub-stream
+// (t1, t2] — every cell holds the parity of the flips between the
+// snapshots. Reconstructing user u's k bits from the XOR-ed array
+// therefore yields (a contaminated view of) the odd sketch of
+// S_u(t1) Δ S_u(t2), and the §IV machinery estimates:
+//
+//   drift_u      = |S_u(t1) Δ S_u(t2)|          (how much churned)
+//   stability_u  = J(S_u(t1), S_u(t2))           (how much persisted)
+//
+// Contamination correction uses β_Δ — the 1-bit fraction of the XOR-ed
+// array — with a single (1−2β_Δ) factor: only one reconstructed digest is
+// involved, unlike the two-user pair estimate. Typical uses: churn
+// monitoring ("alert when a user's subscriptions turn over by more than
+// X"), snapshot dedup, and change-rate dashboards — all without storing
+// any per-user state beyond the two sketch snapshots.
+
+#pragma once
+
+#include "common/bit_vector.h"
+#include "core/vos_estimator.h"
+#include "core/vos_sketch.h"
+
+namespace vos::core {
+
+/// Drift analysis bound to two snapshots of one logical sketch.
+class VosDrift {
+ public:
+  /// `before` and `after` must be snapshots of the same logical sketch
+  /// (identical config and user count); aborts otherwise. Both must
+  /// outlive this object.
+  VosDrift(const VosSketch& before, const VosSketch& after,
+           VosEstimatorOptions options = {});
+
+  /// Estimated |S_u(t1) Δ S_u(t2)| — items subscribed or unsubscribed in
+  /// between (an item toggled twice cancels, as in the underlying parity).
+  double EstimateDrift(UserId u) const;
+
+  /// Estimated Jaccard between the user's two snapshots,
+  /// J = s/(n1+n2−s) with s = (n1+n2−drift)/2; 1.0 means unchanged.
+  double EstimateStability(UserId u) const;
+
+  /// β_Δ — the fill of the XOR-ed array (diagnostic; estimates degrade as
+  /// it approaches ½).
+  double delta_beta() const { return delta_beta_; }
+
+ private:
+  const VosSketch* after_;  // geometry source for CellOf
+  VosEstimator estimator_;
+  const VosSketch* before_;
+  BitVector delta_array_;
+  double delta_beta_;
+};
+
+}  // namespace vos::core

@@ -1,0 +1,115 @@
+#include "core/vos_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace vos::core {
+namespace {
+
+/// XOR-fold checksum over the serialized payload (array words and
+/// cardinalities), with position mixing so reordering is detected.
+uint64_t Checksum(const std::vector<uint64_t>& words,
+                  const std::vector<uint32_t>& cards) {
+  uint64_t sum = 0x5b5e1ab1eULL;
+  uint64_t index = 0;
+  for (uint64_t w : words) sum ^= hash::Hash64(w, ++index);
+  for (uint32_t c : cards) sum ^= hash::Hash64(c, ++index);
+  return sum;
+}
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status VosSketchIo::Save(const VosSketch& sketch, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.write(kMagic, 8);
+  WritePod(out, kVersion);
+  WritePod(out, sketch.config_.k);
+  WritePod(out, sketch.config_.m);
+  WritePod(out, sketch.config_.seed);
+  WritePod(out, static_cast<uint8_t>(sketch.config_.psi_kind));
+  WritePod(out, static_cast<uint32_t>(sketch.cardinality_.size()));
+  const std::vector<uint64_t>& words = sketch.array_.words();
+  WritePod(out, static_cast<uint64_t>(words.size()));
+  out.write(reinterpret_cast<const char*>(words.data()),
+            static_cast<std::streamsize>(words.size() * sizeof(uint64_t)));
+  out.write(
+      reinterpret_cast<const char*>(sketch.cardinality_.data()),
+      static_cast<std::streamsize>(sketch.cardinality_.size() *
+                                   sizeof(uint32_t)));
+  WritePod(out, Checksum(words, sketch.cardinality_));
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<VosSketch> VosSketchIo::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[8];
+  in.read(magic, 8);
+  if (!in.good() || std::memcmp(magic, kMagic, 8) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption(path + ": unsupported version " +
+                              std::to_string(version));
+  }
+  VosConfig config;
+  uint8_t psi_kind = 0;
+  uint32_t num_users = 0;
+  uint64_t num_words = 0;
+  if (!ReadPod(in, &config.k) || !ReadPod(in, &config.m) ||
+      !ReadPod(in, &config.seed) || !ReadPod(in, &psi_kind) ||
+      !ReadPod(in, &num_users) || !ReadPod(in, &num_words)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (psi_kind > static_cast<uint8_t>(PsiKind::kTabulation)) {
+    return Status::Corruption(path + ": unknown psi kind " +
+                              std::to_string(psi_kind));
+  }
+  config.psi_kind = static_cast<PsiKind>(psi_kind);
+  if (config.k == 0 || config.m == 0 ||
+      num_words != (config.m + 63) / 64) {
+    return Status::Corruption(path + ": inconsistent geometry");
+  }
+  std::vector<uint64_t> words(num_words);
+  in.read(reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(num_words * sizeof(uint64_t)));
+  std::vector<uint32_t> cards(num_users);
+  in.read(reinterpret_cast<char*>(cards.data()),
+          static_cast<std::streamsize>(num_users * sizeof(uint32_t)));
+  uint64_t stored_checksum = 0;
+  if (!in.good() || !ReadPod(in, &stored_checksum)) {
+    return Status::Corruption(path + ": truncated payload");
+  }
+  if (stored_checksum != Checksum(words, cards)) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  if (config.m % 64 != 0 && (words.back() >> (config.m % 64)) != 0) {
+    return Status::Corruption(path + ": stray bits beyond m");
+  }
+
+  VosSketch sketch(config, static_cast<stream::UserId>(num_users));
+  sketch.array_ = BitVector::FromWords(config.m, std::move(words));
+  sketch.cardinality_ = std::move(cards);
+  return sketch;
+}
+
+}  // namespace vos::core

@@ -1,0 +1,37 @@
+// Binary serialization of VOS sketches: snapshot a live sketch to disk and
+// restore it later (checkpoint/restore, shipping shard sketches to a
+// merger, offline analysis of an online sketch).
+//
+// Format (little-endian, versioned):
+//   magic "VOSSKTCH" | u32 version | u32 k | u64 m | u64 seed
+//   | u32 num_users | u64 num_array_words | array words
+//   | cardinalities (u32 × num_users) | u64 xor-checksum
+//
+// The checksum covers the payload words and catches truncation and
+// bit-rot; Load re-derives the 1-bit count from the payload, so a loaded
+// sketch is indistinguishable from the original (tested bit-for-bit).
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/vos_sketch.h"
+
+namespace vos::core {
+
+/// Stateless serializer for VosSketch (friend of the class).
+class VosSketchIo {
+ public:
+  /// Writes `sketch` to `path`, overwriting. IoError on filesystem
+  /// problems.
+  static Status Save(const VosSketch& sketch, const std::string& path);
+
+  /// Reads a sketch from `path`. Corruption on malformed/damaged files.
+  static StatusOr<VosSketch> Load(const std::string& path);
+
+  static constexpr char kMagic[9] = "VOSSKTCH";
+  static constexpr uint32_t kVersion = 1;
+};
+
+}  // namespace vos::core

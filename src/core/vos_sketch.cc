@@ -1,0 +1,43 @@
+#include "core/vos_sketch.h"
+
+namespace vos::core {
+
+VosSketch::VosSketch(const VosConfig& config, UserId num_users)
+    : config_(config),
+      psi_seed_(hash::DeriveSeed(config.seed, 0x9a11)),
+      f_seed_(hash::DeriveSeed(config.seed, 0xf00d)),
+      array_(config.m),
+      cardinality_(num_users, 0) {
+  VOS_CHECK(config.k >= 1) << "virtual sketch needs at least one bit";
+  VOS_CHECK(config.m >= 1) << "shared array must be non-empty";
+  switch (config.psi_kind) {
+    case PsiKind::kTwoUniversal:
+      psi_two_universal_ = std::make_shared<hash::TwoUniversalHash>(
+          psi_seed_, config.k);
+      break;
+    case PsiKind::kTabulation:
+      psi_tabulation_ = std::make_shared<hash::TabulationHash>(psi_seed_);
+      break;
+    case PsiKind::kMixer:
+      break;
+  }
+}
+
+void VosSketch::MergeFrom(const VosSketch& other) {
+  VOS_CHECK(IsCompatibleWith(other))
+      << "merging incompatible VOS sketches (config/user-count mismatch)";
+  array_.XorWith(other.array_);
+  for (size_t u = 0; u < cardinality_.size(); ++u) {
+    cardinality_[u] += other.cardinality_[u];
+  }
+}
+
+BitVector VosSketch::ExtractUserSketch(UserId user) const {
+  BitVector sketch(config_.k);
+  for (uint32_t j = 0; j < config_.k; ++j) {
+    if (GetUserBit(user, j)) sketch.Flip(j);
+  }
+  return sketch;
+}
+
+}  // namespace vos::core

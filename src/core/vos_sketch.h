@@ -1,0 +1,172 @@
+// VOS — Virtual Odd Sketch (the paper's contribution, §IV).
+//
+// One shared bit array A of m bits serves all users. User u's k-bit odd
+// sketch is *virtual*: its bit j lives at cell f_j(u) of A, where f_1..f_k
+// are independent user hashes. Processing element (u, i, a) flips the single
+// bit A[f_ψ(i)(u)] — insertion and deletion are the same XOR — giving O(1)
+// update time regardless of k. Because cells are shared across users, a
+// reconstructed bit Ô_u[j] = A[f_j(u)] differs from the true odd-sketch bit
+// with probability β (the fraction of 1-bits in A); the estimator
+// (core/vos_estimator.h) removes this contamination in closed form.
+//
+// Deviation from the paper (DESIGN.md §2): β is maintained as an exact
+// integer 1-bit counter rather than the paper's floating-point running
+// update, which is equivalent but exact.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "common/bit_vector.h"
+#include "common/logging.h"
+#include "hashing/hash64.h"
+#include "hashing/seeds.h"
+#include "hashing/tabulation.h"
+#include "hashing/two_universal.h"
+#include "stream/element.h"
+
+namespace vos::core {
+
+using stream::Action;
+using stream::Element;
+using stream::ItemId;
+using stream::UserId;
+
+/// Which hash family implements ψ (item → virtual bit).
+///
+/// The odd-sketch analysis ([9], and §IV's P(O_uv[j] = 1) derivation)
+/// assumes ψ is drawn from a 2-universal family; kMixer is the fast
+/// default with empirically equivalent behaviour, kTwoUniversal gives the
+/// provable guarantee (Carter–Wegman over 2^61−1), and kTabulation gives
+/// 3-independence with Patrascu–Thorup's stronger-than-pairwise behaviour.
+/// All three are deterministic in the sketch seed; accuracy is
+/// indistinguishable in the test-suite sweeps.
+enum class PsiKind : uint8_t {
+  kMixer = 0,
+  kTwoUniversal = 1,
+  kTabulation = 2,
+};
+
+/// Sizing and seeding of a VOS sketch.
+struct VosConfig {
+  /// k — bits in each user's virtual odd sketch. The paper sets this λ
+  /// times the per-user bit budget of the baselines (λ = 2 in §V); see
+  /// harness/memory_budget.h for the translation.
+  uint32_t k = 6400;
+  /// m — bits in the shared array A. Under the paper's equal-memory rule
+  /// this is the whole budget: m = 32·k_base·|U| bits.
+  uint64_t m = 1 << 22;
+  /// Master seed; ψ and f_1..f_k are derived from it.
+  uint64_t seed = 42;
+  /// Hash family for ψ (see PsiKind).
+  PsiKind psi_kind = PsiKind::kMixer;
+};
+
+/// The VOS sketch: shared array + per-user cardinality counters.
+class VosSketch {
+ public:
+  /// Creates an empty sketch for users 0..num_users.
+  VosSketch(const VosConfig& config, UserId num_users);
+
+  /// Processes one stream element in O(1): flips A[f_ψ(i)(u)] and adjusts
+  /// n_u by ±1.
+  void Update(const Element& e) {
+    array_.Flip(CellOf(e.user, BucketOf(e.item)));
+    if (e.action == Action::kInsert) {
+      ++cardinality_[e.user];
+    } else {
+      VOS_DCHECK(cardinality_[e.user] > 0) << "deletion below zero" << e;
+      --cardinality_[e.user];
+    }
+  }
+
+  /// ψ(item) ∈ [0, k) — which virtual bit of its user an item toggles.
+  uint32_t BucketOf(ItemId item) const {
+    switch (config_.psi_kind) {
+      case PsiKind::kTwoUniversal:
+        return static_cast<uint32_t>((*psi_two_universal_)(item));
+      case PsiKind::kTabulation:
+        return static_cast<uint32_t>(
+            hash::ReduceToRange((*psi_tabulation_)(item), config_.k));
+      case PsiKind::kMixer:
+        break;
+    }
+    return static_cast<uint32_t>(
+        hash::ReduceToRange(hash::Hash64(item, psi_seed_), config_.k));
+  }
+
+  /// f_j(user) ∈ [0, m) — the shared-array cell backing virtual bit j.
+  uint64_t CellOf(UserId user, uint32_t j) const {
+    return hash::ReduceToRange(
+        hash::Hash64(user, hash::DeriveSeed(f_seed_, j)), config_.m);
+  }
+
+  /// Reconstructed bit Ô_u[j] = A[f_j(u)].
+  bool GetUserBit(UserId user, uint32_t j) const {
+    return array_.Get(CellOf(user, j));
+  }
+
+  /// Materializes the full reconstructed sketch Ô_u (k bits). O(k); used by
+  /// the batch query path so pair estimates cost one Hamming distance.
+  BitVector ExtractUserSketch(UserId user) const;
+
+  /// β — exact fraction of 1-bits in A.
+  double beta() const { return array_.FractionOnes(); }
+
+  /// n_u — the user's current number of subscribed items.
+  uint32_t Cardinality(UserId user) const { return cardinality_[user]; }
+
+  /// The shared array (tests inspect it; production code should not).
+  const BitVector& array() const { return array_; }
+
+  const VosConfig& config() const { return config_; }
+  UserId num_users() const {
+    return static_cast<UserId>(cardinality_.size());
+  }
+
+  /// Sketch memory: the shared array. Cardinality counters are excluded —
+  /// every compared method keeps the identical counters (see
+  /// SimilarityMethod::MemoryBits).
+  size_t MemoryBits() const { return array_.MemoryBits(); }
+
+  /// Merges another shard's sketch into this one (distributed ingestion).
+  ///
+  /// If the stream is partitioned across shards — every element processed
+  /// by exactly one shard — then XOR-ing the arrays and summing the
+  /// cardinality counters yields exactly the sketch of the whole stream,
+  /// because both are element-wise sums (mod 2 / over ℤ) of per-element
+  /// contributions. Partition by *user* (e.g. hash(u) % shards) so each
+  /// shard's sub-stream stays locally feasible; splitting one user across
+  /// shards still merges correctly but trips the debug-build feasibility
+  /// check on deletion-before-insertion shards. Both sketches must have
+  /// identical configs (same k, m and seed ⇒ same ψ and f_j) and user
+  /// counts; aborts otherwise.
+  void MergeFrom(const VosSketch& other);
+
+  /// True iff `other` was built with an identical configuration (and is
+  /// therefore mergeable/comparable).
+  bool IsCompatibleWith(const VosSketch& other) const {
+    return config_.k == other.config_.k && config_.m == other.config_.m &&
+           config_.seed == other.config_.seed &&
+           config_.psi_kind == other.config_.psi_kind &&
+           cardinality_.size() == other.cardinality_.size();
+  }
+
+ private:
+  friend class VosSketchIo;  // serialization needs raw state access
+
+  VosConfig config_;
+  uint64_t psi_seed_;
+  uint64_t f_seed_;
+  // Engaged per config_.psi_kind; shared_ptr so sketches stay copyable
+  // (snapshots!) without duplicating the 16 KiB tabulation tables.
+  std::shared_ptr<const hash::TwoUniversalHash> psi_two_universal_;
+  std::shared_ptr<const hash::TabulationHash> psi_tabulation_;
+  BitVector array_;
+  std::vector<uint32_t> cardinality_;
+};
+
+}  // namespace vos::core

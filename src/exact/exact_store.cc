@@ -1,0 +1,27 @@
+#include "exact/exact_store.h"
+
+namespace vos::exact {
+
+size_t ExactStore::CommonItems(UserId u, UserId v) const {
+  const auto& a = sets_[u];
+  const auto& b = sets_[v];
+  const auto& smaller = a.size() <= b.size() ? a : b;
+  const auto& larger = a.size() <= b.size() ? b : a;
+  size_t common = 0;
+  for (ItemId item : smaller) {
+    common += larger.count(item);
+  }
+  return common;
+}
+
+double ExactStore::Jaccard(UserId u, UserId v) const {
+  const size_t common = CommonItems(u, v);
+  const size_t uni = sets_[u].size() + sets_[v].size() - common;
+  return uni == 0 ? 0.0 : static_cast<double>(common) / uni;
+}
+
+size_t ExactStore::SymmetricDifference(UserId u, UserId v) const {
+  return sets_[u].size() + sets_[v].size() - 2 * CommonItems(u, v);
+}
+
+}  // namespace vos::exact

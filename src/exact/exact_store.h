@@ -1,0 +1,74 @@
+// Exact (non-sketched) maintenance of per-user item sets.
+//
+// The evaluation harness replays every stream twice conceptually: once into
+// the sketch under test and once into this exact store, which supplies the
+// ground-truth s_uv and Jaccard values behind the AAPE/ARMSE metrics, as
+// well as the top-cardinality user selection of §V. Memory is O(total live
+// edges) — affordable at reproduction scale, which is exactly why sketches
+// exist for the full-scale problem.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "stream/element.h"
+
+namespace vos::exact {
+
+using stream::Action;
+using stream::Element;
+using stream::ItemId;
+using stream::UserId;
+
+/// Dynamic per-user item sets with exact similarity queries.
+class ExactStore {
+ public:
+  /// Creates a store for users 0..num_users.
+  explicit ExactStore(UserId num_users) : sets_(num_users) {}
+
+  /// Applies one stream element. Enforces feasibility (§II) under
+  /// VOS_DCHECK: duplicate insertions / dead deletions indicate a broken
+  /// stream generator.
+  void Update(const Element& e) {
+    auto& set = sets_[e.user];
+    if (e.action == Action::kInsert) {
+      const bool inserted = set.insert(e.item).second;
+      VOS_DCHECK(inserted) << "duplicate insertion" << e;
+      total_edges_ += inserted ? 1 : 0;
+    } else {
+      const size_t erased = set.erase(e.item);
+      VOS_DCHECK(erased == 1) << "deletion of dead edge" << e;
+      total_edges_ -= erased;
+    }
+  }
+
+  /// |S_u|.
+  size_t Cardinality(UserId u) const { return sets_[u].size(); }
+
+  /// The live item set of `u` (valid until the next Update).
+  const std::unordered_set<ItemId>& Items(UserId u) const { return sets_[u]; }
+
+  UserId num_users() const { return static_cast<UserId>(sets_.size()); }
+
+  /// Σ_u |S_u| — live edges; maintained incrementally, O(1).
+  size_t TotalEdges() const { return total_edges_; }
+
+  /// Exact s_uv = |S_u ∩ S_v|; O(min(|S_u|, |S_v|)).
+  size_t CommonItems(UserId u, UserId v) const;
+
+  /// Exact Jaccard |S_u ∩ S_v| / |S_u ∪ S_v|; 0 when both sets are empty
+  /// (the convention used by the metrics; such pairs are skipped anyway).
+  double Jaccard(UserId u, UserId v) const;
+
+  /// Exact |S_u Δ S_v| (the quantity VOS estimates internally).
+  size_t SymmetricDifference(UserId u, UserId v) const;
+
+ private:
+  std::vector<std::unordered_set<ItemId>> sets_;
+  size_t total_edges_ = 0;
+};
+
+}  // namespace vos::exact

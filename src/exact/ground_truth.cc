@@ -1,0 +1,56 @@
+#include "exact/ground_truth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vos::exact {
+
+std::vector<PairTruth> ComputePairTruths(const ExactStore& store,
+                                         const std::vector<UserPair>& pairs) {
+  // Dense-index the users that appear in any tracked pair.
+  std::unordered_map<UserId, uint32_t> user_index;
+  std::vector<UserId> users;
+  for (const UserPair& p : pairs) {
+    for (UserId u : {p.u, p.v}) {
+      if (user_index.emplace(u, static_cast<uint32_t>(users.size())).second) {
+        users.push_back(u);
+      }
+    }
+  }
+
+  // Inverted index over tracked users, then triangular co-count matrix.
+  const size_t n = users.size();
+  std::unordered_map<ItemId, std::vector<uint32_t>> item_to_users;
+  for (uint32_t idx = 0; idx < n; ++idx) {
+    for (ItemId item : store.Items(users[idx])) {
+      item_to_users[item].push_back(idx);
+    }
+  }
+  std::vector<uint32_t> common(n * n, 0);
+  for (const auto& [item, subs] : item_to_users) {
+    for (size_t a = 0; a < subs.size(); ++a) {
+      for (size_t b = a + 1; b < subs.size(); ++b) {
+        const uint32_t lo = std::min(subs[a], subs[b]);
+        const uint32_t hi = std::max(subs[a], subs[b]);
+        ++common[static_cast<size_t>(lo) * n + hi];
+      }
+    }
+  }
+
+  std::vector<PairTruth> truths;
+  truths.reserve(pairs.size());
+  for (const UserPair& p : pairs) {
+    const uint32_t iu = user_index.at(p.u);
+    const uint32_t iv = user_index.at(p.v);
+    const uint32_t lo = std::min(iu, iv);
+    const uint32_t hi = std::max(iu, iv);
+    PairTruth truth;
+    truth.common = common[static_cast<size_t>(lo) * n + hi];
+    truth.card_u = static_cast<uint32_t>(store.Cardinality(p.u));
+    truth.card_v = static_cast<uint32_t>(store.Cardinality(p.v));
+    truths.push_back(truth);
+  }
+  return truths;
+}
+
+}  // namespace vos::exact

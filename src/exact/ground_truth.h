@@ -1,0 +1,42 @@
+// Batch ground-truth computation for tracked pairs at a checkpoint.
+//
+// The per-pair exact values (s_uv, Jaccard, cardinalities) are recomputed at
+// every evaluation checkpoint; the batch path builds an inverted index over
+// the tracked users once instead of intersecting sets pair by pair, which
+// turns per-checkpoint cost from O(|pairs| · |S|) into O(Σ_items d_i²).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exact/exact_store.h"
+#include "exact/pair_selection.h"
+
+namespace vos::exact {
+
+/// Exact state of one tracked pair at a checkpoint.
+struct PairTruth {
+  uint32_t common = 0;     ///< s_uv = |S_u ∩ S_v|
+  uint32_t card_u = 0;     ///< |S_u|
+  uint32_t card_v = 0;     ///< |S_v|
+
+  /// |S_u ∪ S_v|.
+  uint32_t Union() const { return card_u + card_v - common; }
+
+  /// Jaccard coefficient; 0 when both sets are empty.
+  double Jaccard() const {
+    const uint32_t uni = Union();
+    return uni == 0 ? 0.0 : static_cast<double>(common) / uni;
+  }
+
+  /// |S_u Δ S_v|.
+  uint32_t SymmetricDifference() const { return card_u + card_v - 2 * common; }
+};
+
+/// Computes PairTruth for every pair in `pairs` against the current state of
+/// `store`, using one shared inverted index over the users in `pairs`.
+std::vector<PairTruth> ComputePairTruths(const ExactStore& store,
+                                         const std::vector<UserPair>& pairs);
+
+}  // namespace vos::exact

@@ -1,0 +1,74 @@
+#include "exact/pair_selection.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace vos::exact {
+
+std::vector<UserId> TopCardinalityUsers(const ExactStore& store, size_t n) {
+  std::vector<UserId> users;
+  users.reserve(store.num_users());
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    if (store.Cardinality(u) > 0) users.push_back(u);
+  }
+  const size_t take = std::min(n, users.size());
+  std::partial_sort(users.begin(), users.begin() + take, users.end(),
+                    [&store](UserId a, UserId b) {
+                      const size_t ca = store.Cardinality(a);
+                      const size_t cb = store.Cardinality(b);
+                      return ca != cb ? ca > cb : a < b;
+                    });
+  users.resize(take);
+  return users;
+}
+
+std::vector<UserPair> PairsWithCommonItems(const ExactStore& store,
+                                           const std::vector<UserId>& users,
+                                           size_t max_pairs, uint64_t seed) {
+  // Inverted index: item → dense indices (into `users`) subscribing to it.
+  std::unordered_map<ItemId, std::vector<uint32_t>> item_to_users;
+  for (uint32_t idx = 0; idx < users.size(); ++idx) {
+    for (ItemId item : store.Items(users[idx])) {
+      item_to_users[item].push_back(idx);
+    }
+  }
+
+  // Mark co-subscribing pairs in a dense triangular bitmap.
+  const size_t n = users.size();
+  std::vector<bool> shares(n * n, false);
+  for (const auto& [item, subs] : item_to_users) {
+    for (size_t a = 0; a < subs.size(); ++a) {
+      for (size_t b = a + 1; b < subs.size(); ++b) {
+        const uint32_t lo = std::min(subs[a], subs[b]);
+        const uint32_t hi = std::max(subs[a], subs[b]);
+        shares[static_cast<size_t>(lo) * n + hi] = true;
+      }
+    }
+  }
+
+  std::vector<UserPair> pairs;
+  for (size_t lo = 0; lo < n; ++lo) {
+    for (size_t hi = lo + 1; hi < n; ++hi) {
+      if (shares[lo * n + hi]) {
+        const UserId u = users[lo];
+        const UserId v = users[hi];
+        pairs.push_back(UserPair{std::min(u, v), std::max(u, v)});
+      }
+    }
+  }
+
+  if (max_pairs > 0 && pairs.size() > max_pairs) {
+    Rng rng(seed);
+    rng.Shuffle(pairs);
+    pairs.resize(max_pairs);
+    std::sort(pairs.begin(), pairs.end(), [](const UserPair& a,
+                                             const UserPair& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+  }
+  return pairs;
+}
+
+}  // namespace vos::exact

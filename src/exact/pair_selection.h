@@ -1,0 +1,41 @@
+// Tracked-pair selection, mirroring the paper's experimental protocol (§V):
+// "we first select 5,000 users with largest cardinalities … and then retain
+// the set of user pairs that have at least one common item."
+//
+// At reproduction scale the harness selects the top-N users (N configurable,
+// default a few hundred) and, via an inverted index over their items, all
+// pairs among them sharing ≥1 item — optionally subsampled to a cap to bound
+// per-checkpoint evaluation cost.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exact/exact_store.h"
+
+namespace vos::exact {
+
+/// An unordered user pair with u < v.
+struct UserPair {
+  UserId u;
+  UserId v;
+
+  bool operator==(const UserPair& other) const {
+    return u == other.u && v == other.v;
+  }
+};
+
+/// The `n` users with the largest |S_u|, ties broken by smaller id.
+/// Users with empty sets are never selected.
+std::vector<UserId> TopCardinalityUsers(const ExactStore& store, size_t n);
+
+/// All pairs (u, v) among `users` with |S_u ∩ S_v| ≥ 1, via an inverted
+/// index (cost Σ_items d_i² over tracked users, not |users|²·|S|).
+/// If `max_pairs > 0` and more pairs qualify, a uniform subsample of
+/// `max_pairs` is returned (deterministic in `seed`).
+std::vector<UserPair> PairsWithCommonItems(const ExactStore& store,
+                                           const std::vector<UserId>& users,
+                                           size_t max_pairs, uint64_t seed);
+
+}  // namespace vos::exact

@@ -1,0 +1,111 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "exact/ground_truth.h"
+#include "stream/replayer.h"
+
+namespace vos::harness {
+
+TrackedSet SelectTrackedSet(const stream::GraphStream& stream,
+                            size_t top_users, size_t max_pairs,
+                            uint64_t seed) {
+  // Static view: the set of edges *ever inserted*, as the paper selects
+  // users/pairs on the graph dataset itself, before the deletion process.
+  // An edge deleted and later re-inserted (feasible per §II) counts once.
+  exact::ExactStore static_store(stream.num_users());
+  std::unordered_set<uint64_t> seen;
+  for (const stream::Element& e : stream.elements()) {
+    if (e.action != stream::Action::kInsert) continue;
+    if (seen.insert(stream::EdgeKey(e.user, e.item)).second) {
+      static_store.Update(e);
+    }
+  }
+  TrackedSet tracked;
+  tracked.users = exact::TopCardinalityUsers(static_store, top_users);
+  tracked.pairs = exact::PairsWithCommonItems(static_store, tracked.users,
+                                              max_pairs, seed);
+  return tracked;
+}
+
+StatusOr<ExperimentResult> RunAccuracyExperiment(
+    const stream::GraphStream& stream,
+    const std::vector<std::string>& method_names,
+    const ExperimentConfig& config) {
+  if (stream.empty()) {
+    return Status::InvalidArgument("empty stream");
+  }
+  MethodFactoryConfig factory = config.factory;
+  factory.num_users = stream.num_users();
+  factory.num_items = stream.num_items();
+
+  // Instantiate all methods up front (fails fast on unknown names).
+  std::vector<std::unique_ptr<core::SimilarityMethod>> methods;
+  for (const std::string& name : method_names) {
+    VOS_ASSIGN_OR_RETURN(auto method, CreateMethod(name, factory));
+    methods.push_back(std::move(method));
+  }
+
+  const TrackedSet tracked = SelectTrackedSet(
+      stream, config.top_users, config.max_pairs, factory.seed);
+  if (tracked.pairs.empty()) {
+    return Status::FailedPrecondition(
+        "no tracked pairs: stream too sparse for top_users=" +
+        std::to_string(config.top_users));
+  }
+
+  ExperimentResult result;
+  result.stream_name = stream.name();
+  result.stream_elements = stream.size();
+  result.tracked_users = tracked.users.size();
+  result.tracked_pairs = tracked.pairs.size();
+
+  exact::ExactStore store(stream.num_users());
+  stream::StreamReplayer::Replay(
+      stream, config.num_checkpoints,
+      [&](const stream::Element& e) {
+        store.Update(e);
+        for (auto& method : methods) method->Update(e);
+      },
+      [&](size_t t) {
+        Checkpoint cp;
+        cp.t = t;
+        cp.live_edges = store.TotalEdges();
+        const std::vector<exact::PairTruth> truths =
+            exact::ComputePairTruths(store, tracked.pairs);
+        for (auto& method : methods) {
+          method->PrepareQuery(tracked.users);
+          std::vector<core::PairEstimate> estimates;
+          estimates.reserve(tracked.pairs.size());
+          for (const exact::UserPair& pair : tracked.pairs) {
+            estimates.push_back(method->EstimatePair(pair.u, pair.v));
+          }
+          method->InvalidateQueryCache();
+          MethodCheckpoint mc;
+          mc.method = method->Name();
+          mc.metrics = EvaluatePairs(truths, estimates);
+          cp.methods.push_back(std::move(mc));
+        }
+        result.checkpoints.push_back(std::move(cp));
+      });
+  return result;
+}
+
+StatusOr<double> MeasureUpdateRuntime(const stream::GraphStream& stream,
+                                      const std::string& method_name,
+                                      const MethodFactoryConfig& factory_in) {
+  MethodFactoryConfig factory = factory_in;
+  factory.num_users = stream.num_users();
+  factory.num_items = stream.num_items();
+  VOS_ASSIGN_OR_RETURN(auto method, CreateMethod(method_name, factory));
+
+  WallTimer timer;
+  for (const stream::Element& e : stream.elements()) {
+    method->Update(e);
+  }
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace vos::harness

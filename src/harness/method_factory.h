@@ -1,0 +1,49 @@
+// Construction of similarity methods by name under a shared memory budget.
+//
+// Bench binaries and tests name methods with strings ("VOS", "MinHash",
+// "OPH", "RP", …); the factory translates a name plus a MemoryBudget into a
+// correctly sized instance. Centralizing this guarantees that every
+// experiment sizes methods by the same §V rule.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/similarity_method.h"
+#include "harness/memory_budget.h"
+
+namespace vos::harness {
+
+/// Everything the factory needs besides the method name.
+struct MethodFactoryConfig {
+  /// Base register count k (per-user budget is 32·k bits).
+  uint32_t base_k = 100;
+  /// VOS virtual-size multiplier λ (§V uses 2).
+  double lambda = 2.0;
+  /// Digest width for "b-bit".
+  uint32_t bbit_b = 2;
+  /// Domain sizes of the target stream.
+  uint64_t num_users = 0;
+  uint64_t num_items = 0;
+  /// Master seed (per-method seeds are derived from it and the name).
+  uint64_t seed = 99;
+  /// Apply feasible-range clamping to all estimates (DESIGN.md §5.3).
+  bool clamp = true;
+};
+
+/// Recognized names: "VOS", "MinHash", "OPH", "OPH+rot", "OPH+rand",
+/// "OPH+opt", "RP", "OddSketch", "b-bit". Returns InvalidArgument for
+/// anything else.
+StatusOr<std::unique_ptr<core::SimilarityMethod>> CreateMethod(
+    const std::string& name, const MethodFactoryConfig& config);
+
+/// The paper's four methods in the paper's plotting order.
+std::vector<std::string> PaperMethods();
+
+/// All method names the factory accepts.
+std::vector<std::string> AllMethods();
+
+}  // namespace vos::harness

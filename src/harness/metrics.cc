@@ -1,0 +1,34 @@
+#include "harness/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vos::harness {
+
+double ArmseAccumulator::value() const {
+  return count_ == 0 ? 0.0 : std::sqrt(sum_sq_ / count_);
+}
+
+PairMetrics EvaluatePairs(const std::vector<exact::PairTruth>& truths,
+                          const std::vector<core::PairEstimate>& estimates) {
+  VOS_CHECK(truths.size() == estimates.size())
+      << "truth/estimate vectors misaligned:" << truths.size() << "vs"
+      << estimates.size();
+  AapeAccumulator aape;
+  ArmseAccumulator armse;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    aape.Add(truths[i].common, estimates[i].common);
+    armse.Add(truths[i].Jaccard(), estimates[i].jaccard,
+              /*defined=*/truths[i].Union() > 0);
+  }
+  PairMetrics metrics;
+  metrics.aape = aape.value();
+  metrics.armse = armse.value();
+  metrics.pairs_counted_aape = aape.count();
+  metrics.pairs_skipped_aape = aape.skipped();
+  metrics.pairs_counted_armse = armse.count();
+  return metrics;
+}
+
+}  // namespace vos::harness

@@ -1,0 +1,93 @@
+// The paper's two accuracy metrics (§V):
+//
+//   AAPE(t)  = 1/|P| · Σ_{(u,v)∈P} | (s_uv − ŝ_uv) / s_uv |
+//              (average absolute percentage error of the common-item count)
+//   ARMSE(t) = sqrt( 1/|P| · Σ_{(u,v)∈P} (Ĵ_uv − J_uv)² )
+//              (average root-mean-square error of the Jaccard estimate)
+//
+// Pairs whose ground truth makes a metric undefined at a checkpoint are
+// skipped and counted: AAPE skips s_uv = 0 (division by zero — possible
+// after massive deletions wipe a pair's common items), ARMSE skips pairs
+// whose union is empty. Skip counts are reported so a method can never
+// look good by virtue of undefined pairs.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/similarity_method.h"
+#include "exact/ground_truth.h"
+
+namespace vos::harness {
+
+/// Accumulates AAPE over pairs; call Add per pair, then value().
+class AapeAccumulator {
+ public:
+  /// Adds one pair with exact count `s` and estimate `s_hat`. Pairs with
+  /// s == 0 are skipped (see header).
+  void Add(double s, double s_hat) {
+    if (s <= 0.0) {
+      ++skipped_;
+      return;
+    }
+    sum_ += std::abs((s - s_hat) / s);
+    ++count_;
+  }
+
+  /// AAPE over the added pairs; 0 if none were countable.
+  double value() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  size_t count() const { return count_; }
+  size_t skipped() const { return skipped_; }
+
+ private:
+  double sum_ = 0.0;
+  size_t count_ = 0;
+  size_t skipped_ = 0;
+};
+
+/// Accumulates ARMSE over pairs.
+class ArmseAccumulator {
+ public:
+  /// Adds one pair with exact Jaccard `j` (pass `defined=false` for pairs
+  /// with empty union) and estimate `j_hat`.
+  void Add(double j, double j_hat, bool defined = true) {
+    if (!defined) {
+      ++skipped_;
+      return;
+    }
+    const double diff = j_hat - j;
+    sum_sq_ += diff * diff;
+    ++count_;
+  }
+
+  /// sqrt(mean squared error); 0 if no pairs were countable.
+  double value() const;
+
+  size_t count() const { return count_; }
+  size_t skipped() const { return skipped_; }
+
+ private:
+  double sum_sq_ = 0.0;
+  size_t count_ = 0;
+  size_t skipped_ = 0;
+};
+
+/// Both metrics of one method at one checkpoint.
+struct PairMetrics {
+  double aape = 0.0;
+  double armse = 0.0;
+  size_t pairs_counted_aape = 0;
+  size_t pairs_skipped_aape = 0;
+  size_t pairs_counted_armse = 0;
+};
+
+/// Convenience: evaluates both metrics across aligned truth/estimate
+/// vectors (as produced by exact::ComputePairTruths and a method's
+/// EstimatePair loop).
+PairMetrics EvaluatePairs(const std::vector<exact::PairTruth>& truths,
+                          const std::vector<core::PairEstimate>& estimates);
+
+}  // namespace vos::harness

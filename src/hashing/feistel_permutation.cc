@@ -1,0 +1,65 @@
+#include "hashing/feistel_permutation.h"
+
+#include <bit>
+
+#include "common/random.h"
+#include "hashing/hash64.h"
+
+namespace vos::hash {
+
+FeistelPermutation::FeistelPermutation(uint64_t seed, uint64_t domain_size)
+    : domain_size_(domain_size) {
+  VOS_CHECK(domain_size >= 1) << "permutation domain must be non-empty";
+  // Smallest even total width 2w with 2^(2w) ≥ domain_size. The Feistel
+  // construction needs at least 1 bit per half.
+  int total_bits = 64 - std::countl_zero((domain_size - 1) | 1);
+  if (total_bits % 2 != 0) ++total_bits;
+  if (total_bits < 2) total_bits = 2;
+  VOS_CHECK(total_bits <= 62)
+      << "domain too large for cycle-walking Feistel:" << domain_size;
+  half_bits_ = static_cast<uint64_t>(total_bits) / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+
+  Rng rng(seed);
+  for (auto& key : round_keys_) key = rng.NextU64();
+}
+
+uint64_t FeistelPermutation::EncryptOnce(uint64_t x) const {
+  uint64_t left = (x >> half_bits_) & half_mask_;
+  uint64_t right = x & half_mask_;
+  for (int round = 0; round < kRounds; ++round) {
+    const uint64_t f = Hash64(right, round_keys_[round]) & half_mask_;
+    const uint64_t new_right = left ^ f;
+    left = right;
+    right = new_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t FeistelPermutation::DecryptOnce(uint64_t y) const {
+  uint64_t left = (y >> half_bits_) & half_mask_;
+  uint64_t right = y & half_mask_;
+  for (int round = kRounds - 1; round >= 0; --round) {
+    const uint64_t f = Hash64(left, round_keys_[round]) & half_mask_;
+    const uint64_t new_left = right ^ f;
+    right = left;
+    left = new_left;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t FeistelPermutation::Apply(uint64_t x) const {
+  VOS_DCHECK(x < domain_size_);
+  uint64_t y = EncryptOnce(x);
+  while (y >= domain_size_) y = EncryptOnce(y);  // cycle-walking
+  return y;
+}
+
+uint64_t FeistelPermutation::Inverse(uint64_t y) const {
+  VOS_DCHECK(y < domain_size_);
+  uint64_t x = DecryptOnce(y);
+  while (x >= domain_size_) x = DecryptOnce(x);
+  return x;
+}
+
+}  // namespace vos::hash

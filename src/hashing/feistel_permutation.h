@@ -1,0 +1,53 @@
+// Format-preserving random permutations via a balanced Feistel network.
+//
+// MinHash and OPH are defined over random *permutations* of the item domain
+// I = {0, …, p−1} (§III of the paper). Hash functions only approximate a
+// permutation (collisions shrink the effective domain); for a faithful
+// baseline implementation we construct an actual bijection on [0, p):
+//
+//   * pick the smallest even bit width 2w with 2^(2w) ≥ p,
+//   * run a 4-round Feistel network on the two w-bit halves, with a keyed
+//     round function (Hash64 truncated to w bits),
+//   * cycle-walk: while the output lands in [p, 2^(2w)), re-encrypt. The
+//     expected number of walks is < 4 because 2^(2w) < 4p.
+//
+// The permutation is invertible, which the tests use to verify bijectivity
+// without materializing the whole domain.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace vos::hash {
+
+/// A keyed bijection on [0, domain_size).
+class FeistelPermutation {
+ public:
+  /// Builds the permutation for `domain_size ≥ 1` keyed by `seed`.
+  FeistelPermutation(uint64_t seed, uint64_t domain_size);
+
+  /// π(x); requires x < domain_size().
+  uint64_t Apply(uint64_t x) const;
+
+  /// π⁻¹(y); requires y < domain_size(). Apply(Inverse(y)) == y.
+  uint64_t Inverse(uint64_t y) const;
+
+  uint64_t domain_size() const { return domain_size_; }
+
+  /// Number of Feistel rounds (fixed; 4 suffices for non-cryptographic
+  /// pseudo-randomness per Luby–Rackoff).
+  static constexpr int kRounds = 4;
+
+ private:
+  uint64_t EncryptOnce(uint64_t x) const;
+  uint64_t DecryptOnce(uint64_t y) const;
+
+  uint64_t domain_size_;
+  uint64_t half_bits_;   // w: bits per Feistel half
+  uint64_t half_mask_;   // 2^w − 1
+  uint64_t round_keys_[kRounds];
+};
+
+}  // namespace vos::hash

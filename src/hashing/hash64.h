@@ -1,0 +1,69 @@
+// 64-bit mixing primitives used across the library.
+//
+// These are the workhorse hash functions behind VOS's ψ (item → bucket) and
+// f_1..f_k (user → cell) maps, and behind the fast (non-permutation) mode of
+// the baselines. The finalizers pass standard avalanche tests
+// (murmur3/splitmix constants); seeds select independent functions from the
+// family.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vos::hash {
+
+/// Murmur3's 64-bit finalizer: bijective, strong avalanche.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Stafford's "Mix13" variant of the splitmix64 finalizer; also bijective.
+/// Used where two independent mixes of the same key are needed.
+inline uint64_t Mix64V2(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash of `key` under the function selected by `seed`.
+///
+/// Distinct seeds give (empirically) independent functions: the seed is
+/// injected twice around a full mix so related seeds do not produce related
+/// functions.
+inline uint64_t Hash64(uint64_t key, uint64_t seed) {
+  return Mix64V2(Mix64(key ^ (seed * 0x9e3779b97f4a7c15ULL)) + seed);
+}
+
+/// Combines two hashes into one (order-dependent), boost::hash_combine style
+/// but full-width.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4)));
+}
+
+/// FNV-1a for strings, finalized with Mix64 for avalanche; used only for
+/// dataset/config names, never on hot paths.
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+/// Maps a 64-bit hash to [0, n) without modulo bias (fixed-point multiply).
+inline uint64_t ReduceToRange(uint64_t hash, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(hash) * n) >> 64);
+}
+
+}  // namespace vos::hash

@@ -1,0 +1,29 @@
+// Deterministic derivation of independent sub-seeds from a master seed.
+//
+// Every component that needs several independent hash functions (VOS's
+// f_1..f_k, MinHash's h_1..h_k, per-slot RP randomness) derives one sub-seed
+// per function index from a single experiment-level master seed, keeping
+// whole runs reproducible from one number.
+
+#pragma once
+
+#include <cstdint>
+
+#include "hashing/hash64.h"
+
+namespace vos::hash {
+
+/// Sub-seed for component `index` under `master`. Distinct (master, index)
+/// pairs give unrelated seeds (full 64-bit mix in between).
+inline uint64_t DeriveSeed(uint64_t master, uint64_t index) {
+  return Mix64(Mix64(master ^ 0xd6e8feb86659fd93ULL) + index);
+}
+
+/// Two-level derivation for nested components (e.g. slot j of user sampler
+/// group g).
+inline uint64_t DeriveSeed2(uint64_t master, uint64_t index_a,
+                            uint64_t index_b) {
+  return DeriveSeed(DeriveSeed(master, index_a), index_b);
+}
+
+}  // namespace vos::hash

@@ -1,0 +1,12 @@
+#include "hashing/tabulation.h"
+
+namespace vos::hash {
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  Rng rng(seed);
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = rng.NextU64();
+  }
+}
+
+}  // namespace vos::hash

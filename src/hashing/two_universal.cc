@@ -1,0 +1,16 @@
+#include "hashing/two_universal.h"
+
+#include "common/logging.h"
+
+namespace vos::hash {
+
+TwoUniversalHash::TwoUniversalHash(uint64_t seed, uint64_t range)
+    : range_(range) {
+  VOS_CHECK(range >= 1) << "hash range must be positive";
+  Rng rng(seed);
+  // a ∈ [1, p) — a = 0 would collapse the family to a constant.
+  a_ = 1 + rng.NextBounded(kMersennePrime - 1);
+  b_ = rng.NextBounded(kMersennePrime);
+}
+
+}  // namespace vos::hash

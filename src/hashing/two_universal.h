@@ -1,0 +1,54 @@
+// Carter–Wegman 2-universal hashing over the Mersenne prime p = 2^61 − 1.
+//
+// h(x) = ((a·x + b) mod p) mod n  with a ∈ [1, p), b ∈ [0, p).
+//
+// Provides the pairwise-independence guarantees some estimator analyses
+// assume (e.g. the bin assignment ψ of odd sketches in [9], and the tailored
+// 2-universal densification of Shrivastava'17). The modular arithmetic uses
+// the standard Mersenne folding trick, so no 128-bit division is needed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace vos::hash {
+
+/// One function drawn from the 2-universal family ((a·x+b) mod p) mod n.
+class TwoUniversalHash {
+ public:
+  static constexpr uint64_t kMersennePrime = (uint64_t{1} << 61) - 1;
+
+  /// Draws (a, b) deterministically from `seed`; hashes into [0, range).
+  TwoUniversalHash(uint64_t seed, uint64_t range);
+
+  /// Evaluates the function; `x` may be any 64-bit value (it is first
+  /// reduced mod p, which loses nothing for x < p).
+  uint64_t operator()(uint64_t x) const {
+    const uint64_t xr = ModMersenne(x);
+    // a·x + b over 128 bits, then fold mod 2^61−1.
+    const __uint128_t prod = static_cast<__uint128_t>(a_) * xr + b_;
+    const uint64_t folded =
+        ModMersenne(static_cast<uint64_t>(prod & kMersennePrime) +
+                    static_cast<uint64_t>(prod >> 61));
+    return folded % range_;
+  }
+
+  uint64_t range() const { return range_; }
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+ private:
+  static uint64_t ModMersenne(uint64_t x) {
+    uint64_t r = (x & kMersennePrime) + (x >> 61);
+    if (r >= kMersennePrime) r -= kMersennePrime;
+    return r;
+  }
+
+  uint64_t a_;
+  uint64_t b_;
+  uint64_t range_;
+};
+
+}  // namespace vos::hash

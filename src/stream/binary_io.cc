@@ -1,0 +1,119 @@
+#include "stream/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "hashing/hash64.h"
+
+namespace vos::stream {
+namespace {
+
+constexpr char kMagic[9] = "VOSTREAM";
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kActionBit = 0x80000000u;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+uint64_t ElementChecksum(uint64_t running, uint32_t user,
+                         uint32_t item_word) {
+  return running ^
+         hash::Hash64((static_cast<uint64_t>(user) << 32) | item_word,
+                      0xc0deu);
+}
+
+}  // namespace
+
+Status SaveStreamBinary(const GraphStream& stream, const std::string& path) {
+  for (const Element& e : stream.elements()) {
+    if (e.item & kActionBit) {
+      return Status::InvalidArgument(
+          "binary format holds item ids < 2^31; got " +
+          std::to_string(e.item));
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.write(kMagic, 8);
+  WritePod(out, kVersion);
+  const std::string& name = stream.name();
+  WritePod(out, static_cast<uint32_t>(name.size()));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  WritePod(out, stream.num_users());
+  WritePod(out, stream.num_items());
+  WritePod(out, static_cast<uint64_t>(stream.size()));
+  uint64_t checksum = 0x57a7eULL;
+  for (const Element& e : stream.elements()) {
+    const uint32_t item_word =
+        e.item | (e.action == Action::kDelete ? kActionBit : 0);
+    WritePod(out, e.user);
+    WritePod(out, item_word);
+    checksum = ElementChecksum(checksum, e.user, item_word);
+  }
+  WritePod(out, checksum);
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<GraphStream> LoadStreamBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[8];
+  in.read(magic, 8);
+  if (!in.good() || std::memcmp(magic, kMagic, 8) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption(path + ": unsupported version");
+  }
+  uint32_t name_len = 0;
+  if (!ReadPod(in, &name_len) || name_len > 4096) {
+    return Status::Corruption(path + ": bad name length");
+  }
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  UserId num_users = 0;
+  ItemId num_items = 0;
+  uint64_t num_elements = 0;
+  if (!in.good() || !ReadPod(in, &num_users) || !ReadPod(in, &num_items) ||
+      !ReadPod(in, &num_elements)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+
+  GraphStream stream(name, num_users, num_items);
+  stream.Reserve(num_elements);
+  uint64_t checksum = 0x57a7eULL;
+  for (uint64_t t = 0; t < num_elements; ++t) {
+    uint32_t user = 0, item_word = 0;
+    if (!ReadPod(in, &user) || !ReadPod(in, &item_word)) {
+      return Status::Corruption(path + ": truncated at element " +
+                                std::to_string(t));
+    }
+    checksum = ElementChecksum(checksum, user, item_word);
+    stream.Append(user, item_word & ~kActionBit,
+                  (item_word & kActionBit) ? Action::kDelete
+                                           : Action::kInsert);
+  }
+  uint64_t stored_checksum = 0;
+  if (!ReadPod(in, &stored_checksum) || stored_checksum != checksum) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  VOS_RETURN_IF_ERROR(stream.Validate());
+  return stream;
+}
+
+}  // namespace vos::stream

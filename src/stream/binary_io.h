@@ -1,0 +1,32 @@
+// Binary serialization of graph streams — the text format (stream_io.h) is
+// human-readable and diffable; this one is ~6× smaller and ~20× faster to
+// parse, for checkpointing multi-million-element generated streams between
+// bench runs.
+//
+// Format (little-endian, versioned):
+//   magic "VOSTREAM" | u32 version | u32 name_len | name bytes
+//   | u32 num_users | u32 num_items | u64 num_elements
+//   | elements (u32 user, u32 item with the action packed in the top bit)
+//   | u64 xor-checksum
+//
+// Item ids are restricted to 31 bits in this format (checked at save time);
+// the top bit of the item word carries the action.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "stream/graph_stream.h"
+
+namespace vos::stream {
+
+/// Writes `stream` to `path` in the binary format, overwriting.
+/// InvalidArgument if any item id exceeds 2^31 − 1.
+Status SaveStreamBinary(const GraphStream& stream, const std::string& path);
+
+/// Reads a binary stream from `path`; validates the checksum, domain
+/// bounds, and stream feasibility.
+StatusOr<GraphStream> LoadStreamBinary(const std::string& path);
+
+}  // namespace vos::stream

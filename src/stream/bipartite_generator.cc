@@ -1,0 +1,141 @@
+#include "stream/bipartite_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "hashing/feistel_permutation.h"
+#include "hashing/seeds.h"
+
+namespace vos::stream {
+
+std::vector<uint32_t> TargetDegrees(const BipartiteGraphConfig& config) {
+  VOS_CHECK(config.num_users > 0);
+  VOS_CHECK(config.num_items > 0);
+  VOS_CHECK(config.max_fill_fraction > 0.0 &&
+            config.max_fill_fraction <= 1.0);
+  const auto cap = static_cast<uint32_t>(std::max(
+      1.0, config.max_fill_fraction * static_cast<double>(config.num_items)));
+  VOS_CHECK(static_cast<double>(config.num_edges) <=
+            static_cast<double>(cap) * config.num_users)
+      << "cannot place" << config.num_edges << "edges with per-user cap"
+      << cap;
+
+  // Unnormalized Zipf weights over user ranks.
+  std::vector<double> weight(config.num_users);
+  double total = 0.0;
+  for (UserId u = 0; u < config.num_users; ++u) {
+    weight[u] = 1.0 / std::pow(static_cast<double>(u + 1), config.user_zipf);
+    total += weight[u];
+  }
+
+  // Water-filling under the cap: scale weights to the edge budget, clip at
+  // the cap, and redistribute the clipped mass over unclipped users until
+  // the floor-sum stabilizes. A handful of rounds suffices in practice.
+  std::vector<uint32_t> degree(config.num_users, 0);
+  double remaining = static_cast<double>(config.num_edges);
+  std::vector<char> clipped(config.num_users, 0);
+  double active_weight = total;
+  for (int round = 0; round < 64 && remaining > 0; ++round) {
+    bool any_clip = false;
+    const double scale = remaining / active_weight;
+    for (UserId u = 0; u < config.num_users; ++u) {
+      if (clipped[u]) continue;
+      if (weight[u] * scale >= cap - degree[u]) {
+        remaining -= cap - degree[u];
+        degree[u] = cap;
+        active_weight -= weight[u];
+        clipped[u] = 1;
+        any_clip = true;
+      }
+    }
+    if (!any_clip) break;
+    VOS_CHECK(active_weight > 0 || remaining <= 0)
+        << "degree cap saturated before placing all edges";
+  }
+  // Fractional assignment of what is left, floors first.
+  const double scale = active_weight > 0 ? remaining / active_weight : 0.0;
+  std::vector<std::pair<double, UserId>> fraction;
+  size_t assigned = 0;
+  for (UserId u = 0; u < config.num_users; ++u) {
+    if (clipped[u]) {
+      assigned += degree[u];
+      continue;
+    }
+    const double exact = weight[u] * scale;
+    const auto base = static_cast<uint32_t>(exact);
+    degree[u] = std::min<uint32_t>(base, cap);
+    assigned += degree[u];
+    if (degree[u] < cap) fraction.push_back({exact - base, u});
+  }
+  // Distribute the rounding shortfall to the largest fractional parts.
+  VOS_CHECK(assigned <= config.num_edges);
+  size_t shortfall = config.num_edges - assigned;
+  std::sort(fraction.begin(), fraction.end(), [](const auto& a,
+                                                 const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (size_t pass = 0; shortfall > 0; ++pass) {
+    VOS_CHECK(pass < 2 * config.num_users + 2) << "degree fill stalled";
+    bool progressed = false;
+    for (auto& [frac, u] : fraction) {
+      if (shortfall == 0) break;
+      if (degree[u] < cap) {
+        ++degree[u];
+        --shortfall;
+        progressed = true;
+      }
+    }
+    VOS_CHECK(progressed || shortfall == 0)
+        << "cap too tight for requested edges";
+  }
+  return degree;
+}
+
+std::vector<Edge> GenerateBipartiteEdges(const BipartiteGraphConfig& config) {
+  const std::vector<uint32_t> degrees = TargetDegrees(config);
+  Rng rng(config.seed);
+  ZipfSampler item_sampler(config.num_items, config.item_zipf);
+
+  std::vector<Edge> edges;
+  edges.reserve(config.num_edges);
+  std::unordered_set<ItemId> chosen;
+  for (UserId u = 0; u < config.num_users; ++u) {
+    const uint32_t d = degrees[u];
+    if (d == 0) continue;
+    chosen.clear();
+    chosen.reserve(d * 2);
+    // Rejection sampling from the popularity distribution; heavy users
+    // saturate the Zipf head, so bound the attempts.
+    const size_t max_attempts = 30ULL * d + 64;
+    for (size_t attempt = 0; attempt < max_attempts && chosen.size() < d;
+         ++attempt) {
+      chosen.insert(static_cast<ItemId>(item_sampler.Sample(rng)));
+    }
+    if (chosen.size() < d) {
+      // Fallback: walk the item domain in a per-user pseudo-random order
+      // and take the first unused items. Keeps generation O(items) worst
+      // case and deterministic.
+      hash::FeistelPermutation walk(hash::DeriveSeed(config.seed, u),
+                                    config.num_items);
+      for (uint64_t step = 0; step < config.num_items && chosen.size() < d;
+           ++step) {
+        chosen.insert(static_cast<ItemId>(walk.Apply(step)));
+      }
+    }
+    VOS_CHECK(chosen.size() == d)
+        << "user" << u << "wanted" << d << "items, found" << chosen.size();
+    // Sort for platform-independent determinism (unordered_set iteration
+    // order is implementation-defined).
+    std::vector<ItemId> items(chosen.begin(), chosen.end());
+    std::sort(items.begin(), items.end());
+    for (ItemId item : items) edges.push_back(Edge{u, item});
+  }
+  VOS_CHECK(edges.size() == config.num_edges)
+      << "generated" << edges.size() << "of" << config.num_edges;
+  return edges;
+}
+
+}  // namespace vos::stream

@@ -1,0 +1,81 @@
+#include "stream/dynamic_stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace vos::stream {
+namespace {
+
+/// Emits a massive deletion: each live edge is dropped with probability
+/// `fraction`; the deletion elements are appended in shuffled order.
+void EmitMassiveDeletion(std::vector<Edge>& alive, double fraction, Rng& rng,
+                         GraphStream& out) {
+  std::vector<Edge> deleted;
+  std::vector<Edge> survivors;
+  survivors.reserve(alive.size());
+  for (const Edge& e : alive) {
+    if (rng.NextBernoulli(fraction)) deleted.push_back(e);
+    else survivors.push_back(e);
+  }
+  rng.Shuffle(deleted);
+  for (const Edge& e : deleted) {
+    out.Append(e.user, e.item, Action::kDelete);
+  }
+  alive.swap(survivors);
+}
+
+}  // namespace
+
+GraphStream BuildDynamicStream(const std::vector<Edge>& edges,
+                               UserId num_users, ItemId num_items,
+                               const DynamicStreamConfig& config,
+                               std::string name) {
+  VOS_CHECK(config.deletion_fraction >= 0.0 &&
+            config.deletion_fraction <= 1.0)
+      << "deletion_fraction out of [0,1]:" << config.deletion_fraction;
+  VOS_CHECK(config.model == DeletionModel::kNone ||
+            config.deletion_period > 0)
+      << "deletion_period must be positive";
+
+  Rng rng(config.seed);
+  std::vector<Edge> base = edges;
+  if (config.shuffle_base) rng.Shuffle(base);
+
+  GraphStream out(std::move(name), num_users, num_items);
+  out.Reserve(base.size() * 2);
+
+  std::vector<Edge> alive;
+  alive.reserve(base.size());
+  size_t insertions_since_deletion = 0;
+
+  for (const Edge& e : base) {
+    out.Append(e.user, e.item, Action::kInsert);
+    alive.push_back(e);
+    ++insertions_since_deletion;
+
+    switch (config.model) {
+      case DeletionModel::kNone:
+        break;
+      case DeletionModel::kMassive:
+        if (insertions_since_deletion >= config.deletion_period) {
+          EmitMassiveDeletion(alive, config.deletion_fraction, rng, out);
+          insertions_since_deletion = 0;
+        }
+        break;
+      case DeletionModel::kProbabilistic:
+        if (!alive.empty() && rng.NextBernoulli(config.deletion_fraction)) {
+          const size_t victim = rng.NextBounded(alive.size());
+          const Edge doomed = alive[victim];
+          alive[victim] = alive.back();
+          alive.pop_back();
+          out.Append(doomed.user, doomed.item, Action::kDelete);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vos::stream

@@ -1,0 +1,61 @@
+// Core vocabulary types of the fully dynamic graph stream model (§II).
+//
+// A stream Π = e(1) e(2) … consists of elements e = (u, i, a): user u
+// subscribes to (a = kInsert) or unsubscribes from (a = kDelete) item i.
+// Time is implicit: the t-th element of a stream occurs at time t.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace vos::stream {
+
+/// User identifier (dense, 0-based). 32 bits suffice for the scaled
+/// datasets; widening is a one-line change.
+using UserId = uint32_t;
+
+/// Item identifier (dense, 0-based).
+using ItemId = uint32_t;
+
+/// Edge action: subscription ("+") or unsubscription ("−").
+enum class Action : uint8_t {
+  kInsert = 0,
+  kDelete = 1,
+};
+
+inline char ActionToChar(Action a) { return a == Action::kInsert ? '+' : '-'; }
+
+/// One stream element e = (u, i, a).
+struct Element {
+  UserId user;
+  ItemId item;
+  Action action;
+
+  bool operator==(const Element& other) const {
+    return user == other.user && item == other.item && action == other.action;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Element& e) {
+  return os << '(' << e.user << ", " << e.item << ", " << ActionToChar(e.action)
+            << ')';
+}
+
+/// An undirected user–item edge (no action), used by generators and the
+/// exact store.
+struct Edge {
+  UserId user;
+  ItemId item;
+
+  bool operator==(const Edge& other) const {
+    return user == other.user && item == other.item;
+  }
+};
+
+/// Key packing an edge into 64 bits for hash sets.
+inline uint64_t EdgeKey(UserId u, ItemId i) {
+  return (static_cast<uint64_t>(u) << 32) | i;
+}
+
+}  // namespace vos::stream

@@ -1,0 +1,53 @@
+// Feasibility enforcement for fully dynamic streams (§II).
+//
+// The paper restricts attention to "feasible" streams: (u, i, +) may occur
+// only when i ∉ S_u, and (u, i, −) only when i ∈ S_u. Generators in this
+// library construct feasible streams by design; FeasibilityFilter is the
+// defensive wrapper for externally supplied streams (stream_io) and for
+// randomized generator tests.
+
+#pragma once
+
+#include <unordered_set>
+
+#include "stream/element.h"
+
+namespace vos::stream {
+
+/// Incremental feasibility oracle: tracks live edges and answers whether the
+/// next element is admissible.
+class FeasibilityFilter {
+ public:
+  FeasibilityFilter() = default;
+
+  /// True iff `e` is feasible given the elements accepted so far.
+  bool IsFeasible(const Element& e) const {
+    const bool live = alive_.count(EdgeKey(e.user, e.item)) > 0;
+    return e.action == Action::kInsert ? !live : live;
+  }
+
+  /// Accepts `e` if feasible (updating the live-edge set) and returns true;
+  /// returns false and changes nothing otherwise.
+  bool Accept(const Element& e) {
+    const uint64_t key = EdgeKey(e.user, e.item);
+    if (e.action == Action::kInsert) {
+      return alive_.insert(key).second;
+    }
+    return alive_.erase(key) > 0;
+  }
+
+  /// Number of currently live edges.
+  size_t live_edges() const { return alive_.size(); }
+
+  /// True iff edge (u, i) is currently live.
+  bool IsLive(UserId u, ItemId i) const {
+    return alive_.count(EdgeKey(u, i)) > 0;
+  }
+
+  void Clear() { alive_.clear(); }
+
+ private:
+  std::unordered_set<uint64_t> alive_;
+};
+
+}  // namespace vos::stream

@@ -1,0 +1,59 @@
+#include "stream/graph_stream.h"
+
+#include <unordered_set>
+
+namespace vos::stream {
+
+StreamStats GraphStream::ComputeStats() const {
+  StreamStats stats;
+  stats.num_elements = elements_.size();
+  std::unordered_set<uint64_t> alive;
+  alive.reserve(elements_.size());
+  for (const Element& e : elements_) {
+    if (e.action == Action::kInsert) {
+      ++stats.num_insertions;
+      alive.insert(EdgeKey(e.user, e.item));
+    } else {
+      ++stats.num_deletions;
+      alive.erase(EdgeKey(e.user, e.item));
+    }
+  }
+  stats.final_edges = alive.size();
+  return stats;
+}
+
+Status GraphStream::Validate() const {
+  std::unordered_set<uint64_t> alive;
+  alive.reserve(elements_.size());
+  for (size_t t = 0; t < elements_.size(); ++t) {
+    const Element& e = elements_[t];
+    if (e.user >= num_users_) {
+      return Status::OutOfRange("element " + std::to_string(t) + ": user " +
+                                std::to_string(e.user) + " >= |U| = " +
+                                std::to_string(num_users_));
+    }
+    if (e.item >= num_items_) {
+      return Status::OutOfRange("element " + std::to_string(t) + ": item " +
+                                std::to_string(e.item) + " >= |I| = " +
+                                std::to_string(num_items_));
+    }
+    const uint64_t key = EdgeKey(e.user, e.item);
+    if (e.action == Action::kInsert) {
+      if (!alive.insert(key).second) {
+        return Status::FailedPrecondition(
+            "element " + std::to_string(t) +
+            ": insertion of already-live edge (" + std::to_string(e.user) +
+            ", " + std::to_string(e.item) + ")");
+      }
+    } else {
+      if (alive.erase(key) == 0) {
+        return Status::FailedPrecondition(
+            "element " + std::to_string(t) + ": deletion of dead edge (" +
+            std::to_string(e.user) + ", " + std::to_string(e.item) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vos::stream

@@ -1,0 +1,71 @@
+// GraphStream: an in-memory fully dynamic bipartite graph stream.
+//
+// Holds the element sequence plus the domain sizes |U| and |I| that sketch
+// methods need up front (MinHash/OPH permutations are over the item domain;
+// VOS sizes its shared array from |U|). Streams are either generated
+// (stream/dataset.h) or loaded from disk (stream/stream_io.h).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/element.h"
+
+namespace vos::stream {
+
+/// Aggregate statistics of a stream (used in bench headers and tests).
+struct StreamStats {
+  size_t num_elements = 0;
+  size_t num_insertions = 0;
+  size_t num_deletions = 0;
+  /// Edges alive after replaying the whole stream.
+  size_t final_edges = 0;
+};
+
+/// Element sequence with bipartite domain metadata.
+class GraphStream {
+ public:
+  GraphStream() = default;
+
+  /// Creates an empty stream over `num_users` × `num_items` domains.
+  GraphStream(std::string name, UserId num_users, ItemId num_items)
+      : name_(std::move(name)), num_users_(num_users), num_items_(num_items) {}
+
+  /// Appends one element. The caller is responsible for feasibility (use
+  /// FeasibilityChecker when the source is untrusted).
+  void Append(Element e) { elements_.push_back(e); }
+  void Append(UserId u, ItemId i, Action a) { Append(Element{u, i, a}); }
+
+  const std::vector<Element>& elements() const { return elements_; }
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const Element& operator[](size_t t) const { return elements_[t]; }
+
+  const std::string& name() const { return name_; }
+  UserId num_users() const { return num_users_; }
+  ItemId num_items() const { return num_items_; }
+
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Replays the stream to compute aggregate statistics. O(size).
+  StreamStats ComputeStats() const;
+
+  /// Verifies the feasibility constraint of §II: no duplicate insertion of
+  /// a live edge, no deletion of a dead edge, and all ids within the
+  /// declared domains. Returns the first violation found.
+  Status Validate() const;
+
+  /// Reserves capacity for `n` elements.
+  void Reserve(size_t n) { elements_.reserve(n); }
+
+ private:
+  std::string name_;
+  UserId num_users_ = 0;
+  ItemId num_items_ = 0;
+  std::vector<Element> elements_;
+};
+
+}  // namespace vos::stream

@@ -1,0 +1,37 @@
+#include "stream/replayer.h"
+
+#include <algorithm>
+
+namespace vos::stream {
+
+std::vector<size_t> StreamReplayer::CheckpointPositions(size_t stream_size,
+                                                        size_t count) {
+  std::vector<size_t> positions;
+  if (stream_size == 0) return positions;
+  count = std::max<size_t>(1, std::min(count, stream_size));
+  for (size_t c = 1; c <= count; ++c) {
+    positions.push_back(stream_size * c / count);
+  }
+  positions.back() = stream_size;
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  return positions;
+}
+
+void StreamReplayer::Replay(
+    const GraphStream& stream, size_t num_checkpoints,
+    const std::function<void(const Element&)>& on_element,
+    const std::function<void(size_t)>& on_checkpoint) {
+  const std::vector<size_t> checkpoints =
+      CheckpointPositions(stream.size(), num_checkpoints);
+  size_t next = 0;
+  for (size_t t = 0; t < stream.size(); ++t) {
+    if (on_element) on_element(stream[t]);
+    if (next < checkpoints.size() && t + 1 == checkpoints[next]) {
+      if (on_checkpoint) on_checkpoint(t + 1);
+      ++next;
+    }
+  }
+}
+
+}  // namespace vos::stream

@@ -1,0 +1,38 @@
+// StreamReplayer: drive any number of element sinks through a stream with
+// evenly spaced checkpoints.
+//
+// The harness, the CLI and several examples all share the same loop: apply
+// every element to a set of consumers, pausing at checkpoint positions to
+// evaluate. This class owns that loop (including the corner cases: final
+// element always a checkpoint, deduplicated positions on tiny streams), so
+// the call sites keep only their domain logic.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+#include "stream/graph_stream.h"
+
+namespace vos::stream {
+
+/// Checkpointed replay driver.
+class StreamReplayer {
+ public:
+  /// Computes `count` checkpoint positions evenly spaced in (0, size],
+  /// always including `size`, deduplicated and sorted.
+  static std::vector<size_t> CheckpointPositions(size_t stream_size,
+                                                 size_t count);
+
+  /// Replays `stream`, invoking `on_element` for every element and
+  /// `on_checkpoint(t)` (t = 1-based element count) at each of
+  /// `num_checkpoints` positions. Either callback may be empty.
+  static void Replay(
+      const GraphStream& stream, size_t num_checkpoints,
+      const std::function<void(const Element&)>& on_element,
+      const std::function<void(size_t t)>& on_checkpoint);
+};
+
+}  // namespace vos::stream

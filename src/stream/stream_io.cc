@@ -1,0 +1,79 @@
+#include "stream/stream_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vos::stream {
+
+namespace {
+constexpr int kFormatVersion = 1;
+}
+
+Status SaveStream(const GraphStream& stream, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const std::string name = stream.name().empty() ? "unnamed" : stream.name();
+  out << "vos-stream " << kFormatVersion << ' ' << name << ' '
+      << stream.num_users() << ' ' << stream.num_items() << '\n';
+  for (const Element& e : stream.elements()) {
+    out << ActionToChar(e.action) << ' ' << e.user << ' ' << e.item << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<GraphStream> LoadStream(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+
+  std::string line;
+  size_t line_no = 0;
+  // Header (skipping leading comments/blanks).
+  std::string magic, name;
+  int version = 0;
+  uint64_t num_users = 0, num_items = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream header(line);
+    if (!(header >> magic >> version >> name >> num_users >> num_items) ||
+        magic != "vos-stream") {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": bad header '" + line + "'");
+    }
+    if (version != kFormatVersion) {
+      return Status::Corruption("unsupported vos-stream version " +
+                                std::to_string(version));
+    }
+    break;
+  }
+  if (magic.empty()) return Status::Corruption(path + ": missing header");
+
+  GraphStream stream(name, static_cast<UserId>(num_users),
+                     static_cast<ItemId>(num_items));
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    char action_char = 0;
+    uint64_t user = 0, item = 0;
+    if (!(row >> action_char >> user >> item) ||
+        (action_char != '+' && action_char != '-')) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": bad element '" + line + "'");
+    }
+    stream.Append(static_cast<UserId>(user), static_cast<ItemId>(item),
+                  action_char == '+' ? Action::kInsert : Action::kDelete);
+  }
+
+  VOS_RETURN_IF_ERROR(stream.Validate());
+  return stream;
+}
+
+}  // namespace vos::stream

@@ -1,0 +1,29 @@
+// Text serialization of graph streams.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   vos-stream 1 <name> <num_users> <num_items>
+//   + <user> <item>
+//   - <user> <item>
+//   ...
+//
+// Loading validates feasibility and domain bounds, so corrupted or
+// hand-edited files fail with a precise error instead of poisoning an
+// experiment.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "stream/graph_stream.h"
+
+namespace vos::stream {
+
+/// Writes `stream` to `path`, overwriting.
+Status SaveStream(const GraphStream& stream, const std::string& path);
+
+/// Reads a stream from `path`; validates header, bounds and feasibility.
+StatusOr<GraphStream> LoadStream(const std::string& path);
+
+}  // namespace vos::stream

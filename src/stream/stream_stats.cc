@@ -1,0 +1,62 @@
+#include "stream/stream_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vos::stream {
+
+DegreeSummary SummarizeDegrees(std::vector<uint64_t> degrees) {
+  DegreeSummary summary;
+  degrees.erase(std::remove(degrees.begin(), degrees.end(), 0ull),
+                degrees.end());
+  if (degrees.empty()) return summary;
+  std::sort(degrees.begin(), degrees.end());
+  summary.count = degrees.size();
+  summary.max = degrees.back();
+  auto quantile = [&degrees](double q) {
+    const size_t index = static_cast<size_t>(q * (degrees.size() - 1));
+    return degrees[index];
+  };
+  summary.p99 = quantile(0.99);
+  summary.p90 = quantile(0.90);
+  summary.median = quantile(0.50);
+  uint64_t total = 0;
+  for (uint64_t d : degrees) total += d;
+  summary.mean = static_cast<double>(total) / degrees.size();
+  return summary;
+}
+
+StreamProfile ProfileStream(const GraphStream& stream) {
+  StreamProfile profile;
+  std::vector<uint64_t> user_degree(stream.num_users(), 0);
+  std::unordered_map<ItemId, uint64_t> item_degree;
+  std::unordered_set<uint64_t> alive;
+  alive.reserve(stream.size());
+
+  for (const Element& e : stream.elements()) {
+    ++profile.stats.num_elements;
+    if (e.action == Action::kInsert) {
+      ++profile.stats.num_insertions;
+      alive.insert(EdgeKey(e.user, e.item));
+      ++user_degree[e.user];
+      ++item_degree[e.item];
+    } else {
+      ++profile.stats.num_deletions;
+      alive.erase(EdgeKey(e.user, e.item));
+      --user_degree[e.user];
+      --item_degree[e.item];
+    }
+    profile.peak_edges = std::max(profile.peak_edges, alive.size());
+  }
+  profile.stats.final_edges = alive.size();
+
+  profile.user_degrees = SummarizeDegrees(user_degree);
+  std::vector<uint64_t> items;
+  items.reserve(item_degree.size());
+  for (const auto& [item, degree] : item_degree) items.push_back(degree);
+  profile.item_degrees = SummarizeDegrees(std::move(items));
+  return profile;
+}
+
+}  // namespace vos::stream

@@ -1,0 +1,72 @@
+#include "weighted/icws.h"
+
+#include <cmath>
+#include <limits>
+
+#include "hashing/hash64.h"
+#include "hashing/seeds.h"
+
+namespace vos::weighted {
+namespace {
+
+/// Uniform(0, 1] from a hash (never exactly 0, so logs are finite).
+double UniformFromHash(uint64_t h) {
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// Deterministic per-(item, slot) randomness: r, c ~ Gamma(2,1), β ~ U[0,1).
+struct ItemSlotRandomness {
+  double r;
+  double c;
+  double beta;
+};
+
+ItemSlotRandomness DrawRandomness(ItemId item, uint32_t slot, uint64_t seed) {
+  const uint64_t base = hash::DeriveSeed2(seed, item, slot);
+  const double u1 = UniformFromHash(hash::Hash64(1, base));
+  const double u2 = UniformFromHash(hash::Hash64(2, base));
+  const double u3 = UniformFromHash(hash::Hash64(3, base));
+  const double u4 = UniformFromHash(hash::Hash64(4, base));
+  const double u5 = UniformFromHash(hash::Hash64(5, base));
+  ItemSlotRandomness rnd;
+  rnd.r = -std::log(u1 * u2);  // Gamma(2, 1)
+  rnd.c = -std::log(u3 * u4);  // Gamma(2, 1)
+  rnd.beta = u5 == 1.0 ? 0.0 : u5;
+  return rnd;
+}
+
+}  // namespace
+
+IcwsSketch::IcwsSketch(const WeightedSet& set, uint32_t k, uint64_t seed)
+    : seed_(seed), samples_(k) {
+  VOS_CHECK(k >= 1) << "ICWS needs at least one slot";
+  std::vector<double> best(k, std::numeric_limits<double>::infinity());
+  for (const auto& [item, weight] : set.weights()) {
+    VOS_DCHECK(weight > 0.0);
+    const double log_w = std::log(weight);
+    for (uint32_t j = 0; j < k; ++j) {
+      const ItemSlotRandomness rnd = DrawRandomness(item, j, seed);
+      const double t = std::floor(log_w / rnd.r + rnd.beta);
+      const double y = std::exp(rnd.r * (t - rnd.beta));
+      const double a = rnd.c / (y * std::exp(rnd.r));
+      if (a < best[j]) {
+        best[j] = a;
+        samples_[j].item = item;
+        samples_[j].t = static_cast<int64_t>(t);
+        samples_[j].occupied = true;
+      }
+    }
+  }
+}
+
+double IcwsSketch::EstimateJaccard(const IcwsSketch& a, const IcwsSketch& b) {
+  VOS_CHECK(a.k() == b.k()) << "sketch size mismatch";
+  VOS_CHECK(a.seed_ == b.seed_) << "sketches built with different seeds";
+  uint32_t matches = 0;
+  for (uint32_t j = 0; j < a.k(); ++j) {
+    matches += a.samples_[j].Matches(b.samples_[j]);
+  }
+  return static_cast<double>(matches) / a.k();
+}
+
+}  // namespace vos::weighted

@@ -1,0 +1,20 @@
+#include "weighted/weighted_set.h"
+
+#include <algorithm>
+
+namespace vos::weighted {
+
+double GeneralizedJaccard(const WeightedSet& x, const WeightedSet& y) {
+  // Σmax = Σx + Σy − Σmin, so one pass over the smaller map suffices for
+  // Σmin.
+  const WeightedSet& small = x.size() <= y.size() ? x : y;
+  const WeightedSet& large = x.size() <= y.size() ? y : x;
+  double sum_min = 0.0;
+  for (const auto& [item, w] : small.weights()) {
+    sum_min += std::min(w, large.Weight(item));
+  }
+  const double sum_max = x.TotalWeight() + y.TotalWeight() - sum_min;
+  return sum_max <= 0.0 ? 0.0 : sum_min / sum_max;
+}
+
+}  // namespace vos::weighted

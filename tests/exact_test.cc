@@ -1,0 +1,166 @@
+// Unit tests for src/exact: the exact store, top-user and pair selection,
+// and batch ground-truth computation (cross-checked against per-pair
+// brute force).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exact/exact_store.h"
+#include "exact/ground_truth.h"
+#include "exact/pair_selection.h"
+#include "stream/dataset.h"
+
+namespace vos::exact {
+namespace {
+
+using stream::Action;
+
+// -------------------------------------------------------------- ExactStore
+
+TEST(ExactStoreTest, UpdateMaintainsSetsAndCounters) {
+  ExactStore store(5);
+  store.Update({1, 10, Action::kInsert});
+  store.Update({1, 11, Action::kInsert});
+  store.Update({2, 10, Action::kInsert});
+  EXPECT_EQ(store.Cardinality(1), 2u);
+  EXPECT_EQ(store.Cardinality(2), 1u);
+  EXPECT_EQ(store.Cardinality(0), 0u);
+  EXPECT_EQ(store.TotalEdges(), 3u);
+
+  store.Update({1, 10, Action::kDelete});
+  EXPECT_EQ(store.Cardinality(1), 1u);
+  EXPECT_EQ(store.TotalEdges(), 2u);
+  EXPECT_TRUE(store.Items(1).count(11));
+  EXPECT_FALSE(store.Items(1).count(10));
+}
+
+TEST(ExactStoreTest, CommonItemsAndJaccard) {
+  ExactStore store(3);
+  for (stream::ItemId i : {1, 2, 3, 4}) store.Update({0, i, Action::kInsert});
+  for (stream::ItemId i : {3, 4, 5, 6}) store.Update({1, i, Action::kInsert});
+  EXPECT_EQ(store.CommonItems(0, 1), 2u);
+  EXPECT_DOUBLE_EQ(store.Jaccard(0, 1), 2.0 / 6.0);
+  EXPECT_EQ(store.SymmetricDifference(0, 1), 4u);
+  // Empty-vs-empty.
+  EXPECT_EQ(store.CommonItems(2, 2), 0u);
+  EXPECT_DOUBLE_EQ(store.Jaccard(0, 2), 0.0);
+}
+
+TEST(ExactStoreTest, JaccardOfIdenticalSetsIsOne) {
+  ExactStore store(2);
+  for (stream::ItemId i : {7, 8, 9}) {
+    store.Update({0, i, Action::kInsert});
+    store.Update({1, i, Action::kInsert});
+  }
+  EXPECT_DOUBLE_EQ(store.Jaccard(0, 1), 1.0);
+  EXPECT_EQ(store.SymmetricDifference(0, 1), 0u);
+}
+
+// ---------------------------------------------------- TopCardinalityUsers
+
+TEST(PairSelectionTest, TopUsersOrderedByCardinality) {
+  ExactStore store(6);
+  // user 0: 1 item, user 1: 3 items, user 2: 2 items, user 5: 3 items.
+  store.Update({0, 1, Action::kInsert});
+  for (stream::ItemId i : {1, 2, 3}) store.Update({1, i, Action::kInsert});
+  for (stream::ItemId i : {1, 2}) store.Update({2, i, Action::kInsert});
+  for (stream::ItemId i : {4, 5, 6}) store.Update({5, i, Action::kInsert});
+
+  const auto top2 = TopCardinalityUsers(store, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1u);  // tie (1 vs 5) broken by smaller id
+  EXPECT_EQ(top2[1], 5u);
+
+  const auto all = TopCardinalityUsers(store, 100);
+  EXPECT_EQ(all.size(), 4u);  // users with empty sets excluded
+}
+
+TEST(PairSelectionTest, PairsRequireCommonItem) {
+  ExactStore store(4);
+  for (stream::ItemId i : {1, 2}) store.Update({0, i, Action::kInsert});
+  for (stream::ItemId i : {2, 3}) store.Update({1, i, Action::kInsert});
+  for (stream::ItemId i : {7, 8}) store.Update({2, i, Action::kInsert});
+
+  const auto pairs =
+      PairsWithCommonItems(store, {0, 1, 2}, /*max_pairs=*/0, /*seed=*/1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].u, 0u);
+  EXPECT_EQ(pairs[0].v, 1u);
+}
+
+TEST(PairSelectionTest, MaxPairsSubsamplesDeterministically) {
+  ExactStore store(20);
+  // All users share item 0: all C(20,2)=190 pairs qualify.
+  for (stream::UserId u = 0; u < 20; ++u) {
+    store.Update({u, 0, Action::kInsert});
+  }
+  std::vector<stream::UserId> users;
+  for (stream::UserId u = 0; u < 20; ++u) users.push_back(u);
+
+  const auto all = PairsWithCommonItems(store, users, 0, 1);
+  EXPECT_EQ(all.size(), 190u);
+  const auto capped_a = PairsWithCommonItems(store, users, 50, 1);
+  const auto capped_b = PairsWithCommonItems(store, users, 50, 1);
+  ASSERT_EQ(capped_a.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(capped_a[i], capped_b[i]);
+  const auto capped_c = PairsWithCommonItems(store, users, 50, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < 50; ++i) any_diff |= !(capped_a[i] == capped_c[i]);
+  EXPECT_TRUE(any_diff);  // different seed, different subsample
+}
+
+// ------------------------------------------------------ ComputePairTruths
+
+TEST(GroundTruthTest, MatchesPerPairBruteForce) {
+  auto stream = stream::GenerateDatasetByName("unit");
+  ASSERT_TRUE(stream.ok());
+  ExactStore store(stream->num_users());
+  for (const stream::Element& e : stream->elements()) store.Update(e);
+
+  const auto users = TopCardinalityUsers(store, 12);
+  const auto pairs = PairsWithCommonItems(store, users, 0, 3);
+  ASSERT_FALSE(pairs.empty());
+
+  const auto truths = ComputePairTruths(store, pairs);
+  ASSERT_EQ(truths.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(truths[i].common, store.CommonItems(pairs[i].u, pairs[i].v));
+    EXPECT_EQ(truths[i].card_u, store.Cardinality(pairs[i].u));
+    EXPECT_EQ(truths[i].card_v, store.Cardinality(pairs[i].v));
+    EXPECT_DOUBLE_EQ(truths[i].Jaccard(),
+                     store.Jaccard(pairs[i].u, pairs[i].v));
+    EXPECT_EQ(truths[i].SymmetricDifference(),
+              store.SymmetricDifference(pairs[i].u, pairs[i].v));
+  }
+}
+
+TEST(GroundTruthTest, PairTruthDerivedQuantities) {
+  PairTruth t;
+  t.common = 3;
+  t.card_u = 5;
+  t.card_v = 4;
+  EXPECT_EQ(t.Union(), 6u);
+  EXPECT_DOUBLE_EQ(t.Jaccard(), 0.5);
+  EXPECT_EQ(t.SymmetricDifference(), 3u);
+  PairTruth empty;
+  EXPECT_DOUBLE_EQ(empty.Jaccard(), 0.0);
+}
+
+TEST(GroundTruthTest, TruthsTrackDeletions) {
+  ExactStore store(2);
+  for (stream::ItemId i : {1, 2, 3}) {
+    store.Update({0, i, Action::kInsert});
+    store.Update({1, i, Action::kInsert});
+  }
+  const std::vector<UserPair> pairs = {{0, 1}};
+  EXPECT_EQ(ComputePairTruths(store, pairs)[0].common, 3u);
+  store.Update({0, 2, Action::kDelete});
+  const auto after = ComputePairTruths(store, pairs);
+  EXPECT_EQ(after[0].common, 2u);
+  EXPECT_EQ(after[0].card_u, 2u);
+  EXPECT_EQ(after[0].card_v, 3u);
+}
+
+}  // namespace
+}  // namespace vos::exact

@@ -1,0 +1,107 @@
+// Unit tests for the HyperLogLog union baseline, including its documented
+// deletion failure mode (registers cannot forget).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/hll_union.h"
+
+namespace vos::baseline {
+namespace {
+
+using stream::Action;
+using stream::ItemId;
+using stream::UserId;
+
+HllUnionConfig TestConfig(uint32_t registers = 512, uint64_t seed = 7) {
+  HllUnionConfig config;
+  config.registers = registers;
+  config.seed = seed;
+  return config;
+}
+
+TEST(HllUnionTest, CardinalityEstimateIsAccurate) {
+  HllUnion method(TestConfig(1024), 1);
+  for (ItemId i = 0; i < 5000; ++i) method.Update({0, i, Action::kInsert});
+  // Standard error ≈ 1.04/sqrt(1024) ≈ 3.3%; allow 4 sigma.
+  EXPECT_NEAR(method.EstimateCardinality(0), 5000, 5000 * 0.13);
+}
+
+TEST(HllUnionTest, SmallRangeLinearCounting) {
+  HllUnion method(TestConfig(256), 1);
+  for (ItemId i = 0; i < 20; ++i) method.Update({0, i, Action::kInsert});
+  EXPECT_NEAR(method.EstimateCardinality(0), 20, 5);
+}
+
+TEST(HllUnionTest, PairEstimateOnStaticSets) {
+  // |S_u| = |S_v| = 1500, common 900 → union 2100, J = 900/2700·... =
+  // 900 / 2100 ≈ 0.4286.
+  HllUnion method(TestConfig(2048), 2);
+  for (ItemId i = 0; i < 1500; ++i) {
+    method.Update({0, i, Action::kInsert});
+    method.Update({1, i < 900 ? i : i + 10000, Action::kInsert});
+  }
+  const auto est = method.EstimatePair(0, 1);
+  // Union error ~2.3% of 2100 ≈ 48; common error the same in absolute
+  // terms. Allow generous 4-sigma slack.
+  EXPECT_NEAR(est.common, 900, 200);
+  EXPECT_NEAR(est.jaccard, 900.0 / 2100.0, 0.12);
+}
+
+TEST(HllUnionTest, IdenticalAndDisjointSets) {
+  HllUnion method(TestConfig(1024), 3);
+  for (ItemId i = 0; i < 1000; ++i) {
+    method.Update({0, i, Action::kInsert});
+    method.Update({1, i, Action::kInsert});
+    method.Update({2, 50000 + i, Action::kInsert});
+  }
+  EXPECT_GT(method.EstimatePair(0, 1).jaccard, 0.8);
+  EXPECT_LT(method.EstimatePair(0, 2).jaccard, 0.15);
+}
+
+TEST(HllUnionTest, DeletionsUnderestimateCommonItems) {
+  // The documented failure: delete most items from both users; the union
+  // registers stay at their high-water mark, so ŝ = n_u + n_v − union
+  // collapses (clamped at 0) although the surviving sets are identical.
+  HllUnion method(TestConfig(1024), 4);
+  for (ItemId i = 0; i < 2000; ++i) {
+    method.Update({0, i, Action::kInsert});
+    method.Update({1, i, Action::kInsert});
+  }
+  for (ItemId i = 200; i < 2000; ++i) {
+    method.Update({0, i, Action::kDelete});
+    method.Update({1, i, Action::kDelete});
+  }
+  // Truth: both sets = {0..199}, s = 200, J = 1.
+  const auto est = method.EstimatePair(0, 1);
+  EXPECT_LT(est.common, 40.0) << "stale union must crush the estimate";
+  EXPECT_LT(est.jaccard, 0.2);
+  EXPECT_EQ(method.Cardinality(0), 200u);  // counters do track deletions
+}
+
+TEST(HllUnionTest, MemoryModelAndName) {
+  HllUnion method(TestConfig(256), 10);
+  EXPECT_EQ(method.MemoryBits(), 256u * 8u * 10u);
+  EXPECT_EQ(method.Name(), "HLL-union");
+}
+
+/// Register-count sweep: accuracy improves with registers (property-style).
+class HllPrecisionTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HllPrecisionTest, ErrorWithinTheoreticalBound) {
+  const uint32_t registers = GetParam();
+  HllUnion method(TestConfig(registers, 100 + registers), 1);
+  constexpr ItemId kTrue = 20000;
+  for (ItemId i = 0; i < kTrue; ++i) method.Update({0, i, Action::kInsert});
+  const double relative_error =
+      std::fabs(method.EstimateCardinality(0) - kTrue) / kTrue;
+  // 1.04/sqrt(m) standard error; accept 4 sigma.
+  EXPECT_LT(relative_error, 4 * 1.04 / std::sqrt(registers));
+}
+
+INSTANTIATE_TEST_SUITE_P(Registers, HllPrecisionTest,
+                         ::testing::Values(64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace vos::baseline

@@ -1,0 +1,134 @@
+// Integration tests: the paper's headline claims reproduced end-to-end on
+// generated datasets.
+//
+//   1. On insertion-only streams every method is reasonably accurate
+//      (MinHash/OPH are unbiased there — §III).
+//   2. On fully dynamic streams with massive deletions, VOS beats MinHash
+//      and OPH on both AAPE and ARMSE (Figure 3's qualitative shape).
+//   3. VOS accuracy improves with the memory budget (sanity of the k
+//      scaling), and its error stays stable across checkpoints after
+//      deletions rather than degrading.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "harness/experiment.h"
+#include "stream/dataset.h"
+
+namespace vos::harness {
+namespace {
+
+/// Runs the protocol and returns the final checkpoint's metric per method.
+std::map<std::string, PairMetrics> FinalMetrics(
+    const stream::GraphStream& stream,
+    const std::vector<std::string>& methods, uint32_t base_k,
+    size_t top_users = 40, uint64_t seed = 17) {
+  ExperimentConfig config;
+  config.top_users = top_users;
+  config.max_pairs = 800;
+  config.num_checkpoints = 3;
+  config.factory.base_k = base_k;
+  config.factory.seed = seed;
+  auto result = RunAccuracyExperiment(stream, methods, config);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::map<std::string, PairMetrics> out;
+  for (const MethodCheckpoint& mc : result->Final().methods) {
+    out[mc.method] = mc.metrics;
+  }
+  return out;
+}
+
+stream::GraphStream ToyStream(stream::DeletionModel model) {
+  auto spec = stream::GetDatasetSpec("toy");
+  EXPECT_TRUE(spec.ok());
+  stream::DatasetSpec adjusted = *spec;
+  adjusted.dynamics.model = model;
+  return stream::GenerateDataset(adjusted);
+}
+
+TEST(IntegrationTest, InsertionOnlyStreamAllMethodsReasonable) {
+  const stream::GraphStream s = ToyStream(stream::DeletionModel::kNone);
+  const auto metrics =
+      FinalMetrics(s, {"MinHash", "OPH", "RP", "VOS"}, /*base_k=*/64);
+  for (const auto& [name, m] : metrics) {
+    // RP's slot-match probability is s/(n_u·n_v), so its Jaccard estimate
+    // is intrinsically high-variance (the paper's Figure 3 shows the same);
+    // everyone else should be tight on an insertion-only stream.
+    EXPECT_LT(m.armse, name == "RP" ? 0.8 : 0.35)
+        << name << " ARMSE on insertion-only stream";
+    EXPECT_GT(m.pairs_counted_armse, 0u);
+  }
+  // MinHash without deletions is the textbook estimator: decently tight.
+  EXPECT_LT(metrics.at("MinHash").armse, 0.15);
+}
+
+TEST(IntegrationTest, VosWinsUnderMassiveDeletions) {
+  // The paper's core claim (Figure 3): with ~50% massive deletions,
+  // VOS's AAPE and ARMSE are the lowest of the four methods.
+  const stream::GraphStream s = ToyStream(stream::DeletionModel::kMassive);
+  ASSERT_GT(s.ComputeStats().num_deletions, 0u);
+  const auto metrics =
+      FinalMetrics(s, {"MinHash", "OPH", "RP", "VOS"}, /*base_k=*/64);
+
+  const PairMetrics& vos = metrics.at("VOS");
+  EXPECT_LT(vos.aape, metrics.at("MinHash").aape);
+  EXPECT_LT(vos.aape, metrics.at("OPH").aape);
+  EXPECT_LT(vos.aape, metrics.at("RP").aape);
+  EXPECT_LT(vos.armse, metrics.at("MinHash").armse);
+  EXPECT_LT(vos.armse, metrics.at("OPH").armse);
+  EXPECT_LT(vos.armse, metrics.at("RP").armse);
+}
+
+TEST(IntegrationTest, VosErrorShrinksWithBudget) {
+  const stream::GraphStream s = ToyStream(stream::DeletionModel::kMassive);
+  const double armse_small = FinalMetrics(s, {"VOS"}, 16).at("VOS").armse;
+  const double armse_large = FinalMetrics(s, {"VOS"}, 128).at("VOS").armse;
+  EXPECT_LT(armse_large, armse_small);
+}
+
+TEST(IntegrationTest, VosStableAcrossCheckpointsAfterDeletions) {
+  // VOS's parity sketch absorbs deletions exactly; its ARMSE at the final
+  // checkpoint (after two massive deletions) must not blow up relative to
+  // the first checkpoint. Allow 3x slack for the smaller live sets.
+  const stream::GraphStream s = ToyStream(stream::DeletionModel::kMassive);
+  ExperimentConfig config;
+  config.top_users = 40;
+  config.max_pairs = 800;
+  config.num_checkpoints = 6;
+  config.factory.base_k = 64;
+  config.factory.seed = 23;
+  auto result = RunAccuracyExperiment(s, {"VOS"}, config);
+  ASSERT_TRUE(result.ok());
+  const double first = result->checkpoints.front().methods[0].metrics.armse;
+  const double last = result->checkpoints.back().methods[0].metrics.armse;
+  EXPECT_LT(last, std::max(0.08, 3.0 * first));
+}
+
+TEST(IntegrationTest, ProbabilisticChurnModelAlsoFavorsVos) {
+  // Extension model (steady churn instead of massive deletions): the
+  // qualitative ordering must persist.
+  const stream::GraphStream s =
+      ToyStream(stream::DeletionModel::kProbabilistic);
+  ASSERT_GT(s.ComputeStats().num_deletions, 0u);
+  const auto metrics = FinalMetrics(s, {"MinHash", "VOS"}, /*base_k=*/64);
+  EXPECT_LT(metrics.at("VOS").armse, metrics.at("MinHash").armse);
+}
+
+/// Budget sweep (property-style): across base_k values, VOS keeps beating
+/// MinHash under deletions.
+class BudgetSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BudgetSweepTest, VosBeatsMinHashUnderDeletions) {
+  const stream::GraphStream s = ToyStream(stream::DeletionModel::kMassive);
+  const auto metrics =
+      FinalMetrics(s, {"MinHash", "VOS"}, /*base_k=*/GetParam());
+  EXPECT_LE(metrics.at("VOS").armse, metrics.at("MinHash").armse * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweepTest,
+                         ::testing::Values(32, 64, 128));
+
+}  // namespace
+}  // namespace vos::harness

@@ -1,0 +1,179 @@
+// Cross-method conformance suite: every SimilarityMethod the factory can
+// build must satisfy the same behavioural contract. Parameterized over all
+// registered method names, so adding a method to the factory automatically
+// subjects it to this suite.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/method_factory.h"
+#include "stream/dataset.h"
+
+namespace vos::harness {
+namespace {
+
+using core::PairEstimate;
+using core::SimilarityMethod;
+using stream::Action;
+using stream::Element;
+using stream::ItemId;
+using stream::UserId;
+
+MethodFactoryConfig SmallFactory() {
+  MethodFactoryConfig config;
+  config.base_k = 64;
+  config.num_users = 64;
+  config.num_items = 100000;
+  config.seed = 31;
+  return config;
+}
+
+class MethodConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<SimilarityMethod> Make() {
+    auto method = CreateMethod(GetParam(), SmallFactory());
+    VOS_CHECK(method.ok()) << method.status().ToString();
+    return *std::move(method);
+  }
+};
+
+TEST_P(MethodConformanceTest, NameIsNonEmptyAndStable) {
+  auto method = Make();
+  EXPECT_FALSE(method->Name().empty());
+  EXPECT_EQ(method->Name(), Make()->Name());
+}
+
+TEST_P(MethodConformanceTest, MemoryIsPositiveAndUpdateIndependent) {
+  auto method = Make();
+  const size_t before = method->MemoryBits();
+  EXPECT_GT(before, 0u);
+  for (ItemId i = 0; i < 500; ++i) {
+    method->Update({static_cast<UserId>(i % 8), i, Action::kInsert});
+  }
+  EXPECT_EQ(method->MemoryBits(), before)
+      << "sketches must be fixed-size (that is the point)";
+}
+
+TEST_P(MethodConformanceTest, EmptyUsersEstimateZero) {
+  auto method = Make();
+  const PairEstimate est = method->EstimatePair(0, 1);
+  EXPECT_DOUBLE_EQ(est.common, 0.0);
+  EXPECT_DOUBLE_EQ(est.jaccard, 0.0);
+}
+
+TEST_P(MethodConformanceTest, IdenticalLargeSetsScoreHigh) {
+  // RP is excluded: its per-slot match probability is s/(n_u·n_v) ≈ 0.25%
+  // here, so a single instance legitimately estimates 0 (it is unbiased
+  // only on average — covered by RandomPairingTest.EstimateIsUnbiased...).
+  if (GetParam() == "RP") GTEST_SKIP() << "RP is high-variance by design";
+  auto method = Make();
+  for (ItemId i = 0; i < 400; ++i) {
+    method->Update({0, i, Action::kInsert});
+    method->Update({1, i, Action::kInsert});
+  }
+  const PairEstimate est = method->EstimatePair(0, 1);
+  EXPECT_GT(est.jaccard, 0.8);
+  EXPECT_GT(est.common, 256.0);
+}
+
+TEST_P(MethodConformanceTest, DisjointLargeSetsScoreLow) {
+  auto method = Make();
+  for (ItemId i = 0; i < 400; ++i) {
+    method->Update({0, i, Action::kInsert});
+    method->Update({1, 50000 + i, Action::kInsert});
+  }
+  const PairEstimate est = method->EstimatePair(0, 1);
+  EXPECT_LT(est.jaccard, 0.2);
+  EXPECT_LT(est.common, 80.0);
+}
+
+TEST_P(MethodConformanceTest, EstimatesStayInFeasibleRange) {
+  // Clamping is on by default: whatever the stream, common ∈ [0, min(n_u,
+  // n_v)] and jaccard ∈ [0, 1].
+  auto method = Make();
+  auto stream = stream::GenerateDatasetByName("unit");
+  ASSERT_TRUE(stream.ok());
+  std::vector<uint32_t> cards(64, 0);
+  for (const Element& e : stream->elements()) {
+    if (e.user >= 64) continue;
+    method->Update(e);
+    if (e.action == Action::kInsert) ++cards[e.user];
+    else --cards[e.user];
+  }
+  for (UserId u = 0; u < 8; ++u) {
+    for (UserId v = u + 1; v < 8; ++v) {
+      const PairEstimate est = method->EstimatePair(u, v);
+      EXPECT_GE(est.common, 0.0);
+      EXPECT_LE(est.common,
+                std::min(cards[u], cards[v]) + 1e-9)
+          << "pair (" << u << "," << v << ")";
+      EXPECT_GE(est.jaccard, 0.0);
+      EXPECT_LE(est.jaccard, 1.0);
+    }
+  }
+}
+
+TEST_P(MethodConformanceTest, FullChurnReturnsToZero) {
+  // Insert a set, delete all of it: estimates must return to 0 (exactly
+  // for parity sketches; via n_u = 0 and clamping for the others).
+  auto method = Make();
+  for (ItemId i = 0; i < 100; ++i) {
+    method->Update({0, i, Action::kInsert});
+    method->Update({1, i, Action::kInsert});
+  }
+  for (ItemId i = 0; i < 100; ++i) {
+    method->Update({0, i, Action::kDelete});
+    method->Update({1, i, Action::kDelete});
+  }
+  const PairEstimate est = method->EstimatePair(0, 1);
+  EXPECT_DOUBLE_EQ(est.common, 0.0);
+}
+
+TEST_P(MethodConformanceTest, PrepareQueryDoesNotChangeEstimates) {
+  auto method = Make();
+  for (ItemId i = 0; i < 300; ++i) {
+    method->Update({0, i, Action::kInsert});
+    method->Update({1, i < 150 ? i : i + 9000, Action::kInsert});
+  }
+  const PairEstimate plain = method->EstimatePair(0, 1);
+  method->PrepareQuery({0, 1});
+  const PairEstimate cached = method->EstimatePair(0, 1);
+  method->InvalidateQueryCache();
+  const PairEstimate invalidated = method->EstimatePair(0, 1);
+  EXPECT_DOUBLE_EQ(plain.common, cached.common);
+  EXPECT_DOUBLE_EQ(plain.jaccard, cached.jaccard);
+  EXPECT_DOUBLE_EQ(plain.common, invalidated.common);
+}
+
+TEST_P(MethodConformanceTest, DeterministicAcrossInstances) {
+  auto a = Make();
+  auto b = Make();
+  auto stream = stream::GenerateDatasetByName("unit");
+  ASSERT_TRUE(stream.ok());
+  for (const Element& e : stream->elements()) {
+    if (e.user >= 64) continue;
+    a->Update(e);
+    b->Update(e);
+  }
+  for (UserId u = 0; u < 6; ++u) {
+    for (UserId v = u + 1; v < 6; ++v) {
+      EXPECT_DOUBLE_EQ(a->EstimatePair(u, v).common,
+                       b->EstimatePair(u, v).common);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodConformanceTest,
+                         ::testing::ValuesIn(AllMethods()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace vos::harness

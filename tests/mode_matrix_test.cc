@@ -1,0 +1,102 @@
+// Parameter-matrix property tests: digest width b for b-bit minwise, and
+// the exact-permutation (Feistel) mode across the min-wise baselines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bbit_minwise.h"
+#include "baselines/minhash.h"
+#include "baselines/oph.h"
+
+namespace vos::baseline {
+namespace {
+
+using stream::Action;
+using stream::ItemId;
+
+constexpr uint64_t kItems = 100000;
+
+/// b-bit sweep: the collision-corrected estimator must stay centred on the
+/// true J for every digest width (variance grows as b shrinks).
+class BbitWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BbitWidthTest, CorrectionCentersEstimate) {
+  const uint32_t b = GetParam();
+  // Average over several seeds: the correction must remove the 2^-b
+  // collision inflation at every width.
+  double total = 0.0;
+  constexpr int kRuns = 12;
+  for (int run = 0; run < kRuns; ++run) {
+    BbitMinwiseConfig config;
+    config.k = 600;
+    config.b = b;
+    config.seed = 1000 + run;
+    BbitMinwise method(config, 2, kItems);
+    for (ItemId i = 0; i < 200; ++i) {
+      method.Update({0, i, Action::kInsert});
+      method.Update({1, i + 100, Action::kInsert});  // 100 of 300 shared
+    }
+    total += method.EstimatePair(0, 1).jaccard;
+  }
+  const double true_j = 100.0 / 300.0;
+  // sd per run ≈ sqrt(J(1-J)/k)/(1-2^-b); the mean of 12 runs is tight.
+  const double tolerance = b == 1 ? 0.06 : 0.04;
+  EXPECT_NEAR(total / kRuns, true_j, tolerance) << "b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BbitWidthTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+/// Exact-permutation mode must agree statistically with mixer mode.
+class FeistelModeTest : public ::testing::TestWithParam<HashMode> {};
+
+TEST_P(FeistelModeTest, OphAccuracyHolds) {
+  OphConfig config;
+  config.k = 512;
+  config.hash_mode = GetParam();
+  config.seed = 21;
+  // Feistel permutations need the real (smaller) item domain.
+  const uint64_t domain = GetParam() == HashMode::kFeistel ? 4096 : kItems;
+  Oph method(config, 2, domain);
+  for (ItemId i = 0; i < 300; ++i) {
+    method.Update({0, i, Action::kInsert});
+    method.Update({1, i + 150, Action::kInsert});  // 150 of 450 shared
+  }
+  EXPECT_NEAR(method.EstimatePair(0, 1).jaccard, 150.0 / 450.0, 0.09);
+}
+
+TEST_P(FeistelModeTest, MinHashDeletionSemanticsIndependentOfMode) {
+  MinHashConfig config;
+  config.k = 64;
+  config.hash_mode = GetParam();
+  const uint64_t domain = GetParam() == HashMode::kFeistel ? 1024 : kItems;
+  MinHash method(config, 1, domain);
+  method.Update({0, 5, Action::kInsert});
+  method.Update({0, 9, Action::kInsert});
+  method.Update({0, 5, Action::kDelete});
+  // Registers may be empty (if 5 was the min and 9 hadn't claimed it) or
+  // hold item 9 — never the deleted item.
+  for (uint32_t j = 0; j < config.k; ++j) {
+    const MinRegister& reg = method.RegisterAt(0, j);
+    if (reg.occupied()) {
+      EXPECT_EQ(reg.item, 9u);
+    }
+  }
+  method.Update({0, 9, Action::kDelete});
+  for (uint32_t j = 0; j < config.k; ++j) {
+    EXPECT_FALSE(method.RegisterAt(0, j).occupied());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, FeistelModeTest,
+                         ::testing::Values(HashMode::kMixer,
+                                           HashMode::kFeistel),
+                         [](const auto& info) {
+                           return info.param == HashMode::kMixer
+                                      ? "Mixer"
+                                      : "Feistel";
+                         });
+
+}  // namespace
+}  // namespace vos::baseline

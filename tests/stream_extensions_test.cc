@@ -1,0 +1,178 @@
+// Unit tests for the stream-module extensions: binary stream I/O, the
+// StreamReplayer, and stream profiling (degree statistics).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "stream/binary_io.h"
+#include "stream/stream_io.h"
+#include "stream/dataset.h"
+#include "stream/replayer.h"
+#include "stream/stream_stats.h"
+
+namespace vos::stream {
+namespace {
+
+// ---------------------------------------------------------------- BinaryIo
+
+TEST(BinaryIoTest, RoundTripsExactly) {
+  const std::string path = ::testing::TempDir() + "/vos_binary_io.bin";
+  auto original = GenerateDatasetByName("unit");
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveStreamBinary(*original, path).ok());
+
+  auto loaded = LoadStreamBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), original->name());
+  EXPECT_EQ(loaded->num_users(), original->num_users());
+  EXPECT_EQ(loaded->num_items(), original->num_items());
+  ASSERT_EQ(loaded->size(), original->size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i], (*original)[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, BinaryIsSmallerThanText) {
+  const std::string bin_path = ::testing::TempDir() + "/vos_size.bin";
+  const std::string txt_path = ::testing::TempDir() + "/vos_size.txt";
+  auto stream = GenerateDatasetByName("unit");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(SaveStreamBinary(*stream, bin_path).ok());
+  ASSERT_TRUE(SaveStream(*stream, txt_path).ok());
+  auto file_size = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary | std::ios::ate);
+    return static_cast<size_t>(in.tellg());
+  };
+  EXPECT_LT(file_size(bin_path), file_size(txt_path));
+  std::remove(bin_path.c_str());
+  std::remove(txt_path.c_str());
+}
+
+TEST(BinaryIoTest, DetectsCorruption) {
+  const std::string path = ::testing::TempDir() + "/vos_binary_corrupt.bin";
+  auto stream = GenerateDatasetByName("unit");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(SaveStreamBinary(*stream, path).ok());
+
+  // Flip a byte inside the element payload.
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(200);
+  char byte = 0;
+  file.read(&byte, 1);
+  file.seekp(200);
+  byte = static_cast<char>(byte ^ 0x08);
+  file.write(&byte, 1);
+  file.close();
+
+  const auto status = LoadStreamBinary(path).status();
+  // Either the checksum or the feasibility validation must catch it.
+  EXPECT_TRUE(status.code() == StatusCode::kCorruption ||
+              status.code() == StatusCode::kFailedPrecondition)
+      << status.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsMissingFileAndBadMagic) {
+  EXPECT_EQ(LoadStreamBinary("/nonexistent/x.bin").status().code(),
+            StatusCode::kIoError);
+  const std::string path = ::testing::TempDir() + "/vos_bad_magic.bin";
+  std::ofstream(path, std::ios::binary) << "NOTASTREAMFILE";
+  EXPECT_EQ(LoadStreamBinary(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsOversizedItemIds) {
+  GraphStream stream("big", 2, 0xffffffffu);
+  stream.Append(0, 0x80000001u, Action::kInsert);
+  EXPECT_EQ(SaveStreamBinary(stream, ::testing::TempDir() + "/x.bin").code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Replayer
+
+TEST(ReplayerTest, CheckpointPositionsCoverStreamEnd) {
+  const auto positions = StreamReplayer::CheckpointPositions(100, 4);
+  EXPECT_EQ(positions, (std::vector<size_t>{25, 50, 75, 100}));
+  // More checkpoints than elements: deduplicated, still ends at size.
+  const auto tiny = StreamReplayer::CheckpointPositions(3, 10);
+  EXPECT_EQ(tiny, (std::vector<size_t>{1, 2, 3}));
+  EXPECT_TRUE(StreamReplayer::CheckpointPositions(0, 5).empty());
+}
+
+TEST(ReplayerTest, ReplayInvokesCallbacksInOrder) {
+  GraphStream stream("replay", 4, 4);
+  for (UserId u = 0; u < 4; ++u) stream.Append(u, u, Action::kInsert);
+
+  std::vector<size_t> checkpoints;
+  size_t elements_seen = 0;
+  size_t elements_at_last_checkpoint = 0;
+  StreamReplayer::Replay(
+      stream, 2, [&](const Element&) { ++elements_seen; },
+      [&](size_t t) {
+        checkpoints.push_back(t);
+        elements_at_last_checkpoint = elements_seen;
+        EXPECT_EQ(elements_seen, t);  // checkpoint fires after t elements
+      });
+  EXPECT_EQ(elements_seen, 4u);
+  EXPECT_EQ(checkpoints, (std::vector<size_t>{2, 4}));
+  EXPECT_EQ(elements_at_last_checkpoint, 4u);
+}
+
+TEST(ReplayerTest, EmptyCallbacksAreAllowed) {
+  auto stream = GenerateDatasetByName("unit");
+  ASSERT_TRUE(stream.ok());
+  StreamReplayer::Replay(*stream, 3, nullptr, nullptr);  // must not crash
+}
+
+// --------------------------------------------------------------- Profiling
+
+TEST(StreamStatsTest, SummarizeDegreesQuantiles) {
+  // Degrees 1..100: median 50-ish, max 100, mean 50.5.
+  std::vector<uint64_t> degrees;
+  for (uint64_t d = 1; d <= 100; ++d) degrees.push_back(d);
+  const DegreeSummary summary = SummarizeDegrees(degrees);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_EQ(summary.max, 100u);
+  EXPECT_NEAR(summary.median, 50, 1);
+  EXPECT_NEAR(summary.p90, 90, 1);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_NEAR(summary.SkewRatio(), 100 / 50.5, 1e-9);
+}
+
+TEST(StreamStatsTest, ZerosExcludedAndEmptyHandled) {
+  EXPECT_EQ(SummarizeDegrees({0, 0, 0}).count, 0u);
+  EXPECT_EQ(SummarizeDegrees({}).count, 0u);
+  const DegreeSummary one = SummarizeDegrees({0, 7, 0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_EQ(one.max, 7u);
+}
+
+TEST(StreamStatsTest, ProfileMatchesComputeStats) {
+  auto stream = GenerateDatasetByName("toy");
+  ASSERT_TRUE(stream.ok());
+  const StreamProfile profile = ProfileStream(*stream);
+  const StreamStats stats = stream->ComputeStats();
+  EXPECT_EQ(profile.stats.num_elements, stats.num_elements);
+  EXPECT_EQ(profile.stats.num_insertions, stats.num_insertions);
+  EXPECT_EQ(profile.stats.num_deletions, stats.num_deletions);
+  EXPECT_EQ(profile.stats.final_edges, stats.final_edges);
+  EXPECT_GE(profile.peak_edges, stats.final_edges);
+}
+
+TEST(StreamStatsTest, PresetsAreHeavyTailed) {
+  // The evaluation depends on a head of high-cardinality users; guard the
+  // preset shapes so a generator regression cannot silently flatten them.
+  auto stream = GenerateDatasetByName("toy");
+  ASSERT_TRUE(stream.ok());
+  const StreamProfile profile = ProfileStream(*stream);
+  EXPECT_GT(profile.user_degrees.SkewRatio(), 2.0);
+  EXPECT_GT(profile.user_degrees.max,
+            4 * std::max<uint64_t>(profile.user_degrees.median, 1));
+  EXPECT_GT(profile.item_degrees.SkewRatio(), 1.5);
+}
+
+}  // namespace
+}  // namespace vos::stream

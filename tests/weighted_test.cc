@@ -1,0 +1,177 @@
+// Unit tests for the weighted-similarity module: WeightedSet, exact
+// generalized Jaccard, and the ICWS sketch (Ioffe ICDM'10 — reference [10]
+// of the paper).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "weighted/icws.h"
+#include "weighted/weighted_set.h"
+
+namespace vos::weighted {
+namespace {
+
+// -------------------------------------------------------------- WeightedSet
+
+TEST(WeightedSetTest, SetAddRemoveSemantics) {
+  WeightedSet set;
+  EXPECT_TRUE(set.empty());
+  set.Set(1, 2.5);
+  set.Add(1, 0.5);
+  EXPECT_DOUBLE_EQ(set.Weight(1), 3.0);
+  EXPECT_DOUBLE_EQ(set.Weight(2), 0.0);
+  set.Add(1, -5.0);  // clamps to 0 → removed
+  EXPECT_TRUE(set.empty());
+  set.Set(3, 1.0);
+  set.Set(3, 0.0);  // explicit zero removes
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(WeightedSetTest, TotalWeight) {
+  WeightedSet set;
+  set.Set(1, 1.5);
+  set.Set(2, 2.5);
+  EXPECT_DOUBLE_EQ(set.TotalWeight(), 4.0);
+}
+
+TEST(GeneralizedJaccardTest, HandComputedCases) {
+  WeightedSet x, y;
+  x.Set(1, 2.0);
+  x.Set(2, 1.0);
+  y.Set(1, 1.0);
+  y.Set(3, 1.0);
+  // min: item1 → 1; max: item1 → 2, item2 → 1, item3 → 1. J = 1/4.
+  EXPECT_DOUBLE_EQ(GeneralizedJaccard(x, y), 0.25);
+  EXPECT_DOUBLE_EQ(GeneralizedJaccard(y, x), 0.25);  // symmetric
+}
+
+TEST(GeneralizedJaccardTest, IdentityDisjointEmpty) {
+  WeightedSet x, y, empty;
+  x.Set(1, 3.0);
+  x.Set(2, 0.5);
+  y.Set(9, 1.0);
+  EXPECT_DOUBLE_EQ(GeneralizedJaccard(x, x), 1.0);
+  EXPECT_DOUBLE_EQ(GeneralizedJaccard(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(GeneralizedJaccard(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(GeneralizedJaccard(x, empty), 0.0);
+}
+
+TEST(GeneralizedJaccardTest, ReducesToSetJaccardForUnitWeights) {
+  WeightedSet x, y;
+  for (ItemId i = 0; i < 8; ++i) x.Set(i, 1.0);
+  for (ItemId i = 4; i < 12; ++i) y.Set(i, 1.0);
+  // |∩| = 4, |∪| = 12.
+  EXPECT_DOUBLE_EQ(GeneralizedJaccard(x, y), 4.0 / 12.0);
+}
+
+TEST(GeneralizedJaccardTest, ScaleChangesSimilarityAsExpected) {
+  // Doubling one vector's weights: J(x, 2x) = Σx/Σ2x = 1/2.
+  WeightedSet x, x2;
+  for (ItemId i = 0; i < 5; ++i) {
+    x.Set(i, 1.0 + i);
+    x2.Set(i, 2.0 * (1.0 + i));
+  }
+  EXPECT_DOUBLE_EQ(GeneralizedJaccard(x, x2), 0.5);
+}
+
+// ------------------------------------------------------------------- ICWS
+
+TEST(IcwsTest, IdenticalVectorsAlwaysMatch) {
+  WeightedSet x;
+  for (ItemId i = 0; i < 30; ++i) x.Set(i, 0.1 + i * 0.7);
+  IcwsSketch a(x, 128, 5);
+  IcwsSketch b(x, 128, 5);
+  EXPECT_DOUBLE_EQ(IcwsSketch::EstimateJaccard(a, b), 1.0);
+}
+
+TEST(IcwsTest, DisjointVectorsNeverMatch) {
+  WeightedSet x, y;
+  for (ItemId i = 0; i < 20; ++i) x.Set(i, 1.0 + i);
+  for (ItemId i = 100; i < 120; ++i) y.Set(i, 1.0 + i);
+  IcwsSketch a(x, 128, 7);
+  IcwsSketch b(y, 128, 7);
+  EXPECT_DOUBLE_EQ(IcwsSketch::EstimateJaccard(a, b), 0.0);
+}
+
+TEST(IcwsTest, ConsistencyAcrossIndependentBuilds) {
+  // "Consistent" sampling: the sketch is a pure function of (vector, k,
+  // seed) — rebuilding yields identical samples.
+  WeightedSet x;
+  Rng rng(9);
+  for (ItemId i = 0; i < 50; ++i) x.Set(i, 0.01 + rng.NextDouble() * 5);
+  IcwsSketch a(x, 64, 11);
+  IcwsSketch b(x, 64, 11);
+  for (uint32_t j = 0; j < 64; ++j) {
+    EXPECT_TRUE(a.sample(j).Matches(b.sample(j))) << "slot " << j;
+  }
+}
+
+TEST(IcwsTest, EmptyVectorLeavesSlotsUnoccupied) {
+  WeightedSet empty;
+  IcwsSketch sketch(empty, 16, 3);
+  for (uint32_t j = 0; j < 16; ++j) {
+    EXPECT_FALSE(sketch.sample(j).occupied);
+  }
+  IcwsSketch other(empty, 16, 3);
+  EXPECT_DOUBLE_EQ(IcwsSketch::EstimateJaccard(sketch, other), 0.0);
+}
+
+TEST(IcwsTest, MemoryModel) {
+  WeightedSet x;
+  x.Set(1, 1.0);
+  IcwsSketch sketch(x, 100, 3);
+  EXPECT_EQ(sketch.MemoryBits(), 100u * 40u);
+}
+
+/// The core guarantee: P(sample match) = generalized Jaccard, across weight
+/// profiles (property sweep over structurally different vector pairs).
+struct IcwsAccuracyCase {
+  const char* name;
+  double overlap_weight;  // weight of shared items in y
+};
+
+class IcwsAccuracyTest : public ::testing::TestWithParam<IcwsAccuracyCase> {};
+
+TEST_P(IcwsAccuracyTest, MatchRateEstimatesGeneralizedJaccard) {
+  // x: items 0..39 with increasing weights; y: shares items 0..19 at
+  // parameterized weight, plus its own items 200..219.
+  WeightedSet x, y;
+  for (ItemId i = 0; i < 40; ++i) x.Set(i, 0.5 + 0.25 * i);
+  for (ItemId i = 0; i < 20; ++i) y.Set(i, GetParam().overlap_weight);
+  for (ItemId i = 200; i < 220; ++i) y.Set(i, 1.0);
+
+  const double exact = GeneralizedJaccard(x, y);
+  constexpr uint32_t kSlots = 1024;
+  IcwsSketch a(x, kSlots, 17);
+  IcwsSketch b(y, kSlots, 17);
+  const double estimate = IcwsSketch::EstimateJaccard(a, b);
+  // Binomial sd = sqrt(J(1-J)/k) ≤ 0.016; allow 4 sigma.
+  EXPECT_NEAR(estimate, exact, 4 * std::sqrt(exact * (1 - exact) / kSlots) +
+                                   0.01)
+      << GetParam().name << " exact=" << exact;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightProfiles, IcwsAccuracyTest,
+    ::testing::Values(IcwsAccuracyCase{"light_overlap", 0.25},
+                      IcwsAccuracyCase{"matched_weights", 1.0},
+                      IcwsAccuracyCase{"heavy_overlap", 4.0},
+                      IcwsAccuracyCase{"dominant_overlap", 20.0}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(IcwsTest, UnitWeightsAgreeWithSetJaccard) {
+  // With 0/1 weights the generalized Jaccard is the set Jaccard; ICWS must
+  // land on it too.
+  WeightedSet x, y;
+  for (ItemId i = 0; i < 60; ++i) x.Set(i, 1.0);
+  for (ItemId i = 30; i < 90; ++i) y.Set(i, 1.0);
+  const double exact = 30.0 / 90.0;
+  IcwsSketch a(x, 2048, 23);
+  IcwsSketch b(y, 2048, 23);
+  EXPECT_NEAR(IcwsSketch::EstimateJaccard(a, b), exact, 0.05);
+}
+
+}  // namespace
+}  // namespace vos::weighted
