@@ -28,6 +28,7 @@
 
 #include "baselines/minhash.h"
 #include "common/random.h"
+#include "core/similarity_index.h"
 #include "core/vos_method.h"
 #include "exact/exact_store.h"
 
@@ -55,21 +56,20 @@ struct Quality {
   double mean_sibling_j;  // mean estimated J over the true-duplicate pairs
 };
 
-template <typename Method>
-Quality Score(const Method& method, const vos::exact::ExactStore& exact) {
+Quality ScoreFromEstimates(const std::vector<std::vector<double>>& estimate,
+                           const vos::exact::ExactStore& exact) {
   size_t tp = 0, fp = 0, fn = 0;
   double sibling_j = 0;
   size_t siblings = 0;
   for (UserId a = 0; a < kDocs; ++a) {
     for (UserId b = a + 1; b < kDocs; ++b) {
       const bool truth = exact.Jaccard(a, b) >= kThreshold;
-      const double estimate = method.EstimatePair(a, b).jaccard;
-      const bool flagged = estimate >= kThreshold;
+      const bool flagged = estimate[a][b] >= kThreshold;
       tp += truth && flagged;
       fp += !truth && flagged;
       fn += truth && !flagged;
       if (a / 3 == b / 3) {
-        sibling_j += estimate;
+        sibling_j += estimate[a][b];
         ++siblings;
       }
     }
@@ -77,6 +77,35 @@ Quality Score(const Method& method, const vos::exact::ExactStore& exact) {
   return {tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp),
           tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn),
           sibling_j / siblings};
+}
+
+template <typename Method>
+Quality Score(const Method& method, const vos::exact::ExactStore& exact) {
+  std::vector<std::vector<double>> estimate(kDocs,
+                                            std::vector<double>(kDocs, 0.0));
+  for (UserId a = 0; a < kDocs; ++a) {
+    for (UserId b = a + 1; b < kDocs; ++b) {
+      estimate[a][b] = method.EstimatePair(a, b).jaccard;
+    }
+  }
+  return ScoreFromEstimates(estimate, exact);
+}
+
+/// VOS is scored through the batch query engine: one Rebuild snapshots all
+/// document digests, one thread-partitioned AllPairsAbove sweep yields
+/// every pair's estimate (τ = 0 keeps all pairs, estimates are clamped to
+/// [0, 1]) — no per-pair sketch reconstruction.
+Quality ScoreVosBatch(vos::core::SimilarityIndex& index,
+                      const std::vector<UserId>& docs,
+                      const vos::exact::ExactStore& exact) {
+  index.Rebuild(docs);
+  std::vector<std::vector<double>> estimate(kDocs,
+                                            std::vector<double>(kDocs, 0.0));
+  for (const auto& pair : index.AllPairsAbove(0.0)) {
+    estimate[std::min(pair.u, pair.v)][std::max(pair.u, pair.v)] =
+        pair.jaccard;
+  }
+  return ScoreFromEstimates(estimate, exact);
 }
 
 }  // namespace
@@ -112,8 +141,12 @@ int main() {
       }
     }
   }
+  vos::core::SimilarityIndex vos_index(vos_method.sketch());
+  std::vector<UserId> docs;
+  for (UserId doc = 0; doc < kDocs; ++doc) docs.push_back(doc);
+
   auto report = [&](const char* phase) {
-    const Quality vq = Score(vos_method, exact);
+    const Quality vq = ScoreVosBatch(vos_index, docs, exact);
     const Quality mq = Score(minhash, exact);
     double true_j = 0;
     for (UserId a = 0; a < kDocs; a += 3) {

@@ -15,41 +15,20 @@
 //
 // Run: ./build/examples/social_recommendation
 
-#include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "core/similarity_index.h"
 #include "core/vos_method.h"
 #include "exact/exact_store.h"
 #include "stream/dataset.h"
 
 namespace {
 
+using vos::core::SimilarityIndex;
 using vos::core::VosConfig;
 using vos::core::VosMethod;
 using vos::stream::UserId;
-
-struct Neighbor {
-  UserId user;
-  double jaccard;
-};
-
-/// Top-`n` most similar peers of `focal` among `candidates` by estimate.
-std::vector<Neighbor> TopPeers(const VosMethod& method, UserId focal,
-                               const std::vector<UserId>& candidates,
-                               size_t n) {
-  std::vector<Neighbor> peers;
-  for (UserId candidate : candidates) {
-    if (candidate == focal) continue;
-    peers.push_back({candidate, method.EstimatePair(focal, candidate).jaccard});
-  }
-  std::partial_sort(peers.begin(), peers.begin() + std::min(n, peers.size()),
-                    peers.end(), [](const Neighbor& a, const Neighbor& b) {
-                      return a.jaccard > b.jaccard;
-                    });
-  peers.resize(std::min(n, peers.size()));
-  return peers;
-}
 
 }  // namespace
 
@@ -70,6 +49,11 @@ int main() {
   std::vector<UserId> candidates;
   for (UserId u = 0; u < 64; ++u) candidates.push_back(u);
 
+  // The batch query engine: Rebuild() snapshots every candidate digest
+  // once per checkpoint (thread-parallel), then TopK is a handful of row
+  // kernels instead of per-pair sketch reconstructions.
+  SimilarityIndex index(method.sketch());
+
   // Replay the stream; at a few checkpoints, surface neighbors and
   // recommendations.
   const size_t checkpoint_every = stream.size() / 4;
@@ -80,8 +64,9 @@ int main() {
 
     std::printf("=== t = %zu (focal user %u follows %u channels) ===\n",
                 t + 1, focal, method.sketch().Cardinality(focal));
-    const auto peers = TopPeers(method, focal, candidates, 3);
-    for (const Neighbor& peer : peers) {
+    index.Rebuild(candidates);
+    const auto peers = index.TopK(focal, 3);
+    for (const SimilarityIndex::Entry& peer : peers) {
       std::printf("  peer %3u: estimated J = %.3f (exact %.3f)\n", peer.user,
                   peer.jaccard, exact.Jaccard(focal, peer.user));
     }

@@ -1,24 +1,99 @@
 #include "core/similarity_index.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/popcount.h"
 
 namespace vos::core {
+namespace {
+
+/// Total order on entries: Ĵ descending, then user ascending — identical
+/// to the scalar reference, so batch results sort to the same sequence.
+bool EntryBefore(const SimilarityIndex::Entry& a,
+                 const SimilarityIndex::Entry& b) {
+  return a.jaccard != b.jaccard ? a.jaccard > b.jaccard : a.user < b.user;
+}
+
+/// Total order on pairs: Ĵ descending, then (u, v) ascending.
+bool PairBefore(const SimilarityIndex::Pair& a,
+                const SimilarityIndex::Pair& b) {
+  if (a.jaccard != b.jaccard) return a.jaccard > b.jaccard;
+  return a.u != b.u ? a.u < b.u : a.v < b.v;
+}
+
+/// Runs `work(block)` for every block in [0, num_blocks) across `threads`
+/// workers pulling block ids from a shared counter (dynamic balancing for
+/// the triangular all-pairs workload). Caller merges per-block outputs in
+/// block order, so results are independent of the schedule.
+template <typename Work>
+void RunBlocks(unsigned threads, size_t num_blocks, const Work& work) {
+  std::atomic<size_t> next{0};
+  const auto worker = [&] {
+    for (size_t block = next.fetch_add(1, std::memory_order_relaxed);
+         block < num_blocks;
+         block = next.fetch_add(1, std::memory_order_relaxed)) {
+      work(block);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
 
 SimilarityIndex::SimilarityIndex(const VosSketch& sketch,
-                                 VosEstimatorOptions options)
-    : sketch_(&sketch), estimator_(sketch.config().k, options) {}
+                                 VosEstimatorOptions options,
+                                 QueryOptions query_options)
+    : sketch_(&sketch),
+      estimator_(sketch.config().k, options),
+      query_options_(query_options),
+      log_alpha_table_(estimator_.BuildLogAlphaTable()) {}
 
 void SimilarityIndex::Rebuild(std::vector<UserId> candidates) {
   candidates_ = std::move(candidates);
-  digests_.clear();
-  digests_.reserve(candidates_.size());
+  const size_t n = candidates_.size();
   cardinalities_.clear();
-  cardinalities_.reserve(candidates_.size());
+  cardinalities_.reserve(n);
   for (UserId u : candidates_) {
-    digests_.push_back(sketch_->ExtractUserSketch(u));
     cardinalities_.push_back(sketch_->Cardinality(u));
   }
+  sorted_rows_.resize(n);
+  for (size_t i = 0; i < n; ++i) sorted_rows_[i] = static_cast<uint32_t>(i);
+  std::sort(sorted_rows_.begin(), sorted_rows_.end(),
+            [this](uint32_t a, uint32_t b) {
+              return cardinalities_[a] != cardinalities_[b]
+                         ? cardinalities_[a] < cardinalities_[b]
+                         : a < b;
+            });
+  row_of_orig_.assign(n, 0);
+  cards_by_row_.resize(n);
+  std::vector<UserId> ordered_users(n);
+  for (size_t p = 0; p < n; ++p) {
+    const uint32_t i = sorted_rows_[p];
+    row_of_orig_[i] = static_cast<uint32_t>(p);
+    cards_by_row_[p] = cardinalities_[i];
+    ordered_users[p] = candidates_[i];
+  }
+  matrix_ =
+      DigestMatrix::Build(*sketch_, ordered_users, query_options_.num_threads);
+  row_of_.clear();
+  row_of_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    row_of_.emplace(candidates_[i], row_of_orig_[i]);  // first occurrence
+  }
   beta_ = sketch_->beta();
+  log_beta_term_ = estimator_.LogBetaTerm(beta_);
+}
+
+size_t SimilarityIndex::RowOf(UserId user) const {
+  const auto it = row_of_.find(user);
+  return it == row_of_.end() ? kNpos : it->second;
 }
 
 PairEstimate SimilarityIndex::EstimateFromDigests(const BitVector& a,
@@ -30,46 +105,313 @@ PairEstimate SimilarityIndex::EstimateFromDigests(const BitVector& a,
   return estimator_.Estimate(card_a, card_b, alpha, beta_);
 }
 
+PairEstimate SimilarityIndex::EstimateRows(const uint64_t* a, uint32_t card_a,
+                                           const uint64_t* b,
+                                           uint32_t card_b) const {
+  const size_t d = XorPopcount(a, b, matrix_.words_per_row());
+  return estimator_.EstimateFromLogTerms(card_a, card_b, log_alpha_table_[d],
+                                         log_beta_term_);
+}
+
+// ----------------------------------------------------------------- TopK
+
+std::vector<SimilarityIndex::Entry> SimilarityIndex::TopKFromRow(
+    UserId query, const uint64_t* query_row, uint32_t query_card,
+    size_t k) const {
+  const size_t n = matrix_.rows();
+  const auto scan = [&](size_t begin, size_t end, std::vector<Entry>* out) {
+    for (size_t p = begin; p < end; ++p) {
+      const UserId candidate = candidates_[sorted_rows_[p]];
+      if (candidate == query) continue;
+      const PairEstimate est = EstimateRows(
+          query_row, query_card, matrix_.Row(p), cards_by_row_[p]);
+      out->push_back({candidate, est.common, est.jaccard});
+    }
+  };
+
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  const size_t block = std::max<size_t>(query_options_.block_size, 1);
+  const size_t num_blocks = (n + block - 1) / block;
+  const unsigned threads =
+      ResolveThreadCount(query_options_.num_threads, num_blocks);
+  if (threads <= 1) {
+    scan(0, n, &entries);
+  } else {
+    std::vector<std::vector<Entry>> per_block(num_blocks);
+    RunBlocks(threads, num_blocks, [&](size_t b) {
+      const size_t begin = b * block;
+      scan(begin, std::min(n, begin + block), &per_block[b]);
+    });
+    for (const auto& chunk : per_block) {
+      entries.insert(entries.end(), chunk.begin(), chunk.end());
+    }
+  }
+  const size_t take = std::min(k, entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + take, entries.end(),
+                    EntryBefore);
+  entries.resize(take);
+  return entries;
+}
+
 std::vector<SimilarityIndex::Entry> SimilarityIndex::TopK(UserId query,
                                                           size_t k) const {
-  const BitVector query_digest = sketch_->ExtractUserSketch(query);
-  const uint32_t query_card = sketch_->Cardinality(query);
+  if (candidates_.empty()) return {};
+  const size_t row = RowOf(query);
+  if (row != kNpos) {
+    // Snapshot reuse: the query's digest and cardinality were captured at
+    // Rebuild; no per-call re-extraction.
+    return TopKFromRow(query, matrix_.Row(row), cards_by_row_[row], k);
+  }
+  std::vector<uint64_t> query_row(matrix_.words_per_row());
+  DigestMatrix::ExtractRow(*sketch_, query, query_row.data());
+  return TopKFromRow(query, query_row.data(), sketch_->Cardinality(query), k);
+}
 
+std::vector<SimilarityIndex::Entry> SimilarityIndex::TopKReference(
+    UserId query, size_t k) const {
+  if (candidates_.empty()) return {};
+  BitVector query_digest;
+  uint32_t query_card = 0;
+  const size_t row = RowOf(query);
+  if (row != kNpos) {
+    query_digest = matrix_.RowAsBitVector(row);
+    query_card = cards_by_row_[row];
+  } else {
+    query_digest = sketch_->ExtractUserSketch(query);
+    query_card = sketch_->Cardinality(query);
+  }
   std::vector<Entry> entries;
   entries.reserve(candidates_.size());
   for (size_t i = 0; i < candidates_.size(); ++i) {
     if (candidates_[i] == query) continue;
     const PairEstimate est = EstimateFromDigests(
-        query_digest, query_card, digests_[i], cardinalities_[i]);
+        query_digest, query_card, matrix_.RowAsBitVector(row_of_orig_[i]),
+        cardinalities_[i]);
     entries.push_back({candidates_[i], est.common, est.jaccard});
   }
   const size_t take = std::min(k, entries.size());
   std::partial_sort(entries.begin(), entries.begin() + take, entries.end(),
-                    [](const Entry& a, const Entry& b) {
-                      return a.jaccard != b.jaccard ? a.jaccard > b.jaccard
-                                                    : a.user < b.user;
-                    });
+                    EntryBefore);
   entries.resize(take);
   return entries;
+}
+
+// ----------------------------------------------------------- AllPairsAbove
+
+void SimilarityIndex::ScanSortedBlock(size_t begin, size_t end,
+                                      double jaccard_threshold,
+                                      std::vector<Pair>* out) const {
+  const size_t n = matrix_.rows();
+  const size_t words = matrix_.words_per_row();
+  const uint32_t k = matrix_.k();
+  // The prefilter is sound only where Ĵ is monotone in ŝ over the clamped
+  // feasible range; with clamping off a caller could observe unclamped
+  // corner cases, so it stays on the exact path.
+  const bool prefilter = query_options_.prefilter &&
+                         estimator_.options().clamp_to_feasible &&
+                         jaccard_threshold > 1e-5;
+  // Ĵ ≥ τ ⟺ ŝ ≥ s_req := τ/(1+τ)·(n_u+n_v) (Ĵ is monotone in ŝ). Two
+  // conservative consequences drive the prefilter, each with a slack many
+  // orders above FP rounding so no boundary pair the estimator would keep
+  // is ever dropped:
+  //   1. ŝ is clamped to min(n_u, n_v), so a pair needs
+  //      min < s_req − slack ⟹ fail. Scanning in cardinality-sorted
+  //      order makes the left side fixed (card_p) and the right side
+  //      monotone in the partner's cardinality, so the first failing
+  //      partner ends the inner loop — later pairs are never enumerated.
+  //   2. ŝ_raw ≥ s_req ⟺ L(d) ≥ (s_req − (n_u+n_v)/2)·4/k + 2·ln|1−2β|;
+  //      pairs below the bound skip the estimator (popcount only).
+  const double tau_frac = jaccard_threshold / (1.0 + jaccard_threshold);
+
+  // Early-exit split: the 2×4/1×8 micro-kernels popcount the first ~3/4
+  // of each row, then a confinement check decides whether the remaining
+  // words can still move the pair into a pass region. The fixed spans
+  // keep the kernels fully unrolled; short rows skip the split. The
+  // split position only decides where the (always sound) check runs,
+  // never the result. (An additional earlier check at ~1/2 was measured
+  // slower: its survivors leave the batched kernels for pairwise
+  // finishes, costing more than the earlier exit saves.)
+  const bool split = words >= 16;
+  const size_t phase1_words = split ? (words * 3 / 4) & ~size_t{3} : words;
+  const size_t phase1_bits = std::min<size_t>(phase1_words * 64, k);
+
+  const auto emit = [&](size_t p, size_t q, const PairEstimate& est) {
+    // Canonical orientation: smaller candidate index first, as the
+    // reference loop emits.
+    const uint32_t oi = sorted_rows_[p];
+    const uint32_t oj = sorted_rows_[q];
+    const uint32_t u = std::min(oi, oj);
+    const uint32_t v = std::max(oi, oj);
+    out->push_back({candidates_[u], candidates_[v], est.common,
+                    est.jaccard});
+  };
+
+  if (!prefilter) {
+    for (size_t p = begin; p < end; ++p) {
+      const uint64_t* row_i = matrix_.Row(p);
+      const double card_i = cards_by_row_[p];
+      for (size_t q = p + 1; q < n; ++q) {
+        const size_t d = XorPopcount(row_i, matrix_.Row(q), words);
+        const PairEstimate est = estimator_.EstimateFromLogTerms(
+            card_i, cards_by_row_[q], log_alpha_table_[d], log_beta_term_);
+        if (est.jaccard >= jaccard_threshold) emit(p, q, est);
+      }
+    }
+    return;
+  }
+
+  // Admissible window of row p: cards_by_row_ is non-decreasing and the
+  // fail condition min < s_req − slack is monotone in the partner's
+  // cardinality, so the window end is a partition point — pairs beyond it
+  // are never enumerated.
+  const auto window_end = [&](size_t p, double card_i) {
+    const auto it = std::partition_point(
+        cards_by_row_.begin() + static_cast<ptrdiff_t>(p) + 1,
+        cards_by_row_.begin() + static_cast<ptrdiff_t>(n),
+        [&](uint32_t card_j) {
+          const double sum = card_i + card_j;
+          return !(card_i < tau_frac * sum - 1e-6 * (sum + 1.0));
+        });
+    return static_cast<size_t>(it - cards_by_row_.begin());
+  };
+
+  // Finishes pair (p, q) given row p's data and the pair's phase-1
+  // distance. The pass set on d for this pair is {d : table[d] ≥ cut} =
+  // [0, lo_end) ∪ [hi_begin, k] (table is non-increasing up to k/2 and
+  // non-decreasing after), so membership tests reduce to one table lookup
+  // per endpoint — no search. A partial distance over `seen` bits
+  // confines the final distance to [d, d + (k − seen)]; the pair
+  // provably fails when that interval misses both pass regions: d is
+  // past the low region (d > k/2, or its table value already below the
+  // cut) and even the maximum cannot reach the high region.
+  const size_t mid = k / 2;
+  const auto confined_fail = [&](size_t d, size_t seen_bits, double cut) {
+    const size_t d_max = std::min<size_t>(d + (k - seen_bits), k);
+    return (d > mid || log_alpha_table_[d] < cut) &&
+           (d_max < mid || log_alpha_table_[d_max] < cut);
+  };
+  const double cut_scale = (tau_frac - 0.5) * (4.0 / k);
+  const auto finish = [&](size_t p, const uint64_t* row_i, double card_i,
+                          size_t q, size_t d) {
+    const double card_j = cards_by_row_[q];
+    const double la_cut =
+        cut_scale * (card_i + card_j) + 2.0 * log_beta_term_;
+    const double cut = la_cut - 1e-6 * (std::fabs(la_cut) + 1.0);
+    if (confined_fail(d, phase1_bits, cut)) return;
+    if (split) {
+      d += XorPopcount(row_i + phase1_words, matrix_.Row(q) + phase1_words,
+                       words - phase1_words);
+    }
+    // Exact screen: d passes iff table[d] reaches the cut.
+    if (log_alpha_table_[d] < cut) return;
+    const PairEstimate est = estimator_.EstimateFromLogTerms(
+        card_i, card_j, log_alpha_table_[d], log_beta_term_);
+    if (est.jaccard >= jaccard_threshold) emit(p, q, est);
+  };
+
+  // 1×8 sweep of row p against sorted positions [q, q_end).
+  const auto scan_1x8 = [&](size_t p, const uint64_t* row_i, double card_i,
+                            size_t q, size_t q_end) {
+    size_t d8[8];
+    for (; q + 8 <= q_end; q += 8) {
+      XorPopcount8(row_i, matrix_.Row(q), words, phase1_words, d8);
+      for (size_t t = 0; t < 8; ++t) finish(p, row_i, card_i, q + t, d8[t]);
+    }
+    for (; q < q_end; ++q) {
+      finish(p, row_i, card_i, q,
+             XorPopcount(row_i, matrix_.Row(q), phase1_words));
+    }
+  };
+
+  // Pair up adjacent p-rows: their windows are nested (cards are sorted,
+  // so row p+1 admits every partner row p does), letting the shared range
+  // run on the 2×4 micro-kernel — each partner row load feeds two pairs.
+  size_t p = begin;
+  for (; p + 2 <= end; p += 2) {
+    const uint64_t* row_a = matrix_.Row(p);
+    const uint64_t* row_b = matrix_.Row(p + 1);
+    const double card_a = cards_by_row_[p];
+    const double card_b = cards_by_row_[p + 1];
+    const size_t q_end_a = window_end(p, card_a);
+    const size_t q_end_b = window_end(p + 1, card_b);
+    if (p + 1 < q_end_a) {
+      finish(p, row_a, card_a, p + 1,
+             XorPopcount(row_a, row_b, phase1_words));
+    }
+    size_t q = p + 2;
+    size_t d8[8];
+    for (; q + 4 <= q_end_a; q += 4) {
+      XorPopcount2x4(row_a, row_b, matrix_.Row(q), words, phase1_words, d8);
+      for (size_t t = 0; t < 4; ++t) {
+        finish(p, row_a, card_a, q + t, d8[t]);
+        finish(p + 1, row_b, card_b, q + t, d8[4 + t]);
+      }
+    }
+    for (; q < q_end_a; ++q) {
+      finish(p, row_a, card_a, q,
+             XorPopcount(row_a, matrix_.Row(q), phase1_words));
+      finish(p + 1, row_b, card_b, q,
+             XorPopcount(row_b, matrix_.Row(q), phase1_words));
+    }
+    scan_1x8(p + 1, row_b, card_b, std::max(q_end_a, p + 2), q_end_b);
+  }
+  for (; p < end; ++p) {
+    const uint64_t* row_i = matrix_.Row(p);
+    const double card_i = cards_by_row_[p];
+    scan_1x8(p, row_i, card_i, p + 1, window_end(p, card_i));
+  }
 }
 
 std::vector<SimilarityIndex::Pair> SimilarityIndex::AllPairsAbove(
     double jaccard_threshold) const {
   std::vector<Pair> pairs;
-  for (size_t i = 0; i < candidates_.size(); ++i) {
-    for (size_t j = i + 1; j < candidates_.size(); ++j) {
+  const size_t n = matrix_.rows();
+  if (n < 2) return pairs;
+  const size_t block = std::max<size_t>(query_options_.block_size, 1);
+  const size_t num_blocks = (n + block - 1) / block;
+  const unsigned threads =
+      ResolveThreadCount(query_options_.num_threads, num_blocks);
+  if (threads <= 1) {
+    ScanSortedBlock(0, n, jaccard_threshold, &pairs);
+  } else {
+    std::vector<std::vector<Pair>> per_block(num_blocks);
+    RunBlocks(threads, num_blocks, [&](size_t b) {
+      const size_t begin = b * block;
+      ScanSortedBlock(begin, std::min(n, begin + block), jaccard_threshold,
+                      &per_block[b]);
+    });
+    size_t total = 0;
+    for (const auto& chunk : per_block) total += chunk.size();
+    pairs.reserve(total);
+    for (const auto& chunk : per_block) {
+      pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), PairBefore);
+  return pairs;
+}
+
+std::vector<SimilarityIndex::Pair> SimilarityIndex::AllPairsAboveReference(
+    double jaccard_threshold) const {
+  const size_t n = matrix_.rows();
+  std::vector<BitVector> digests;
+  digests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    digests.push_back(matrix_.RowAsBitVector(row_of_orig_[i]));
+  }
+  std::vector<Pair> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
       const PairEstimate est = EstimateFromDigests(
-          digests_[i], cardinalities_[i], digests_[j], cardinalities_[j]);
+          digests[i], cardinalities_[i], digests[j], cardinalities_[j]);
       if (est.jaccard >= jaccard_threshold) {
         pairs.push_back({candidates_[i], candidates_[j], est.common,
                          est.jaccard});
       }
     }
   }
-  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
-    if (a.jaccard != b.jaccard) return a.jaccard > b.jaccard;
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
+  std::sort(pairs.begin(), pairs.end(), PairBefore);
   return pairs;
 }
 

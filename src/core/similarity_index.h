@@ -1,25 +1,76 @@
-// SimilarityIndex: batch similarity queries over a VOS sketch.
+// SimilarityIndex: batched, parallel similarity queries over a VOS sketch.
 //
 // The sketch answers one pair in O(k); applications usually want "who is
 // most similar to u?" or "all pairs above J ≥ τ" over a candidate set
-// (e.g. the currently active users). The index snapshots each candidate's
-// reconstructed digest once (O(k) hashes per candidate), after which every
-// pair costs a single word-parallel Hamming distance — the same
-// amortization the evaluation harness uses, packaged as a public API.
+// (e.g. the currently active users). Rebuild() snapshots every candidate's
+// reconstructed digest into a DigestMatrix — one contiguous packed buffer,
+// filled by a thread-parallel extraction pass over the sketch's cached
+// f-seed table — after which a pair estimate is one word-wise XOR+popcount
+// row kernel (common/popcount.h) plus a table lookup:
+//
+//   * ŝ depends on the Hamming distance d only through ln|1−2·d/k|, which
+//     takes k+1 values; Rebuild-time tabulation removes every log/divide
+//     from the O(U²) loop (bit-identical by construction — see
+//     VosEstimator::EstimateFromLogTerms).
+//   * AllPairsAbove runs a std::thread-partitioned loop over row blocks
+//     with per-thread result buffers, merged and canonically sorted at the
+//     end; results are bit-identical for every thread count and block
+//     size.
+//   * A conservative prefilter converts the Jaccard threshold into
+//     cardinality and alpha (log-term) bounds. Because Ĵ ≥ τ forces
+//     min(n_u,n_v) ≥ τ/(1+τ)·(n_u+n_v), the all-pairs sweep runs in
+//     cardinality-sorted order: the admissible partners of each row form a
+//     contiguous window, and the inner loop breaks at its end — hopeless
+//     pairs are never enumerated, let alone popcounted. Pairs inside the
+//     window whose Hamming distance rules τ out are skipped before the
+//     estimator. All slacks are chosen so the filter never drops a pair
+//     the full estimator would keep; prefilter on/off is asserted
+//     identical in tests.
+//
+// TopKReference / AllPairsAboveReference keep the original scalar
+// implementation (per-user BitVector digests, one estimator call per
+// pair). They are the ground truth the batch engine is asserted
+// bit-identical against, and the baseline bench/micro_query_path.cc
+// measures speedups over.
 //
 // The index is a *snapshot*: estimates reflect the sketch state at the
-// last Rebuild(). Rebuild after ingesting more stream (cheap relative to
-// re-scanning pairs).
+// last Rebuild(). This includes the TopK query user whenever it is among
+// the candidates — its stored row and cardinality are reused instead of
+// re-extracting per call. Rebuild after ingesting more stream (cheap
+// relative to re-scanning pairs).
+//
+// Thread-safety contract: Rebuild() mutates the index and must not run
+// concurrently with queries. Between Rebuilds the index is immutable;
+// TopK, AllPairsAbove and their *Reference twins are const and safe to
+// call concurrently from any number of threads (each call may itself
+// spawn QueryOptions::num_threads workers).
 
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/bit_vector.h"
+#include "core/digest_matrix.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
 
 namespace vos::core {
+
+/// Tunables of the batch query engine.
+struct QueryOptions {
+  /// Worker threads per query / Rebuild extraction pass
+  /// (0 = std::thread::hardware_concurrency()).
+  unsigned num_threads = 0;
+  /// Rows per parallel work unit in the all-pairs loop. Small blocks
+  /// balance the triangular workload; large blocks cut scheduling
+  /// overhead.
+  size_t block_size = 128;
+  /// Enable the cardinality + Hamming-distance prescreen in
+  /// AllPairsAbove. Only applied when the estimator clamps to the
+  /// feasible range (the default); results are identical either way.
+  bool prefilter = true;
+};
 
 /// Snapshot index over a candidate set of users.
 class SimilarityIndex {
@@ -41,35 +92,99 @@ class SimilarityIndex {
 
   /// Binds to `sketch` (not owned; must outlive the index).
   explicit SimilarityIndex(const VosSketch& sketch,
-                           VosEstimatorOptions options = {});
+                           VosEstimatorOptions options = {},
+                           QueryOptions query_options = {});
 
-  /// Snapshots digests, cardinalities and β for `candidates`.
+  /// Snapshots digests, cardinalities and β for `candidates` (extraction
+  /// runs on QueryOptions::num_threads workers).
   void Rebuild(std::vector<UserId> candidates);
 
   /// The `k` candidates most similar to `query` (by Ĵ, descending;
-  /// excluding the query itself if present among candidates). `query` need
-  /// not be a candidate — its digest is extracted on the fly.
+  /// excluding the query itself if present among candidates). When the
+  /// query is a candidate its snapshot row is reused; otherwise its digest
+  /// is extracted from the live sketch.
   std::vector<Entry> TopK(UserId query, size_t k) const;
 
   /// All unordered candidate pairs with Ĵ ≥ `jaccard_threshold`,
-  /// descending by Ĵ. O(candidates²) Hamming scans.
+  /// descending by Ĵ (ties by (u, v)).
   std::vector<Pair> AllPairsAbove(double jaccard_threshold) const;
+
+  /// Scalar reference implementation of TopK: single-threaded, per-user
+  /// BitVector digests, one estimator (log) call per pair. Kept as the
+  /// ground truth for bit-identity tests and as the bench baseline.
+  std::vector<Entry> TopKReference(UserId query, size_t k) const;
+
+  /// Scalar reference implementation of AllPairsAbove (see TopKReference).
+  std::vector<Pair> AllPairsAboveReference(double jaccard_threshold) const;
 
   size_t candidate_count() const { return candidates_.size(); }
 
   /// β captured at the last Rebuild (exposed for diagnostics).
   double snapshot_beta() const { return beta_; }
 
+  /// The packed digest snapshot (exposed for tests and diagnostics).
+  /// Rows are stored in cardinality-sorted order — row p belongs to
+  /// candidate sorted_to_candidate(p) — so the all-pairs sweep streams
+  /// contiguous memory.
+  const DigestMatrix& matrix() const { return matrix_; }
+
+  /// The candidate-list index owning matrix row p.
+  size_t sorted_to_candidate(size_t p) const { return sorted_rows_[p]; }
+
+  const QueryOptions& query_options() const { return query_options_; }
+  void set_query_options(const QueryOptions& options) {
+    query_options_ = options;
+  }
+
  private:
+  /// Reference-path estimate from two BitVector digests.
   PairEstimate EstimateFromDigests(const BitVector& a, uint32_t card_a,
                                    const BitVector& b, uint32_t card_b) const;
 
+  /// Batch-path estimate from two packed rows.
+  PairEstimate EstimateRows(const uint64_t* a, uint32_t card_a,
+                            const uint64_t* b, uint32_t card_b) const;
+
+  /// Scans sorted positions [begin, end) of the cardinality-sorted order
+  /// against all later positions for pairs ≥ τ, appending hits to `out`
+  /// (the prefilter + sorted-window break live here). Every unordered pair
+  /// is visited by exactly one (begin, end) partition cell.
+  void ScanSortedBlock(size_t begin, size_t end, double jaccard_threshold,
+                       std::vector<Pair>* out) const;
+
+  /// TopK core over an explicit query row + cardinality.
+  std::vector<Entry> TopKFromRow(UserId query, const uint64_t* query_row,
+                                 uint32_t query_card, size_t k) const;
+
+  /// Row index of `user` among the candidates, or npos.
+  size_t RowOf(UserId user) const;
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
   const VosSketch* sketch_;
   VosEstimator estimator_;
+  QueryOptions query_options_;
   std::vector<UserId> candidates_;
-  std::vector<BitVector> digests_;
+  /// Digest rows in cardinality-sorted order (ties by candidate index):
+  /// the sweep order that turns the τ cardinality bound into a loop break
+  /// while streaming the matrix contiguously.
+  DigestMatrix matrix_;
+  /// Cardinalities in candidate order (reference paths, diagnostics).
   std::vector<uint32_t> cardinalities_;
+  /// Cardinalities aligned with matrix rows (non-decreasing).
+  std::vector<uint32_t> cards_by_row_;
+  /// sorted_rows_[p] = candidate index owning matrix row p.
+  std::vector<uint32_t> sorted_rows_;
+  /// row_of_orig_[i] = matrix row of candidate index i.
+  std::vector<uint32_t> row_of_orig_;
+  /// user → matrix row (first occurrence among candidates).
+  std::unordered_map<UserId, size_t> row_of_;
+  /// log_alpha_table_[d] = VosEstimator::LogAlphaTerm(d / k) for every
+  /// Hamming distance d in [0, k]; built once in the constructor.
+  std::vector<double> log_alpha_table_;
   double beta_ = 0.0;
+  /// VosEstimator::LogBetaTerm(beta_), captured at Rebuild.
+  double log_beta_term_ = 0.0;
 };
 
 }  // namespace vos::core

@@ -59,6 +59,11 @@ class SimilarityMethod {
   /// Clears any cache built by PrepareQuery (called when the stream
   /// advances past a checkpoint).
   virtual void InvalidateQueryCache() {}
+
+  /// Optional: worker threads PrepareQuery may use for batch digest
+  /// extraction (0 = hardware concurrency). Methods without a parallel
+  /// batch path ignore it.
+  virtual void SetQueryThreads(unsigned num_threads) { (void)num_threads; }
 };
 
 }  // namespace vos::core

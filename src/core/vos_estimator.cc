@@ -21,18 +21,51 @@ double VosEstimator::EstimateSymmetricDifference(double alpha,
   return std::max(0.0, raw);
 }
 
-double VosEstimator::EstimateCommonItems(double n_u, double n_v, double alpha,
-                                         double beta) const {
+double VosEstimator::LogAlphaTerm(double alpha) const {
+  return SafeLogAbs(1.0 - 2.0 * alpha);
+}
+
+double VosEstimator::LogBetaTerm(double beta) const {
+  return SafeLogAbs(1.0 - 2.0 * beta);
+}
+
+std::vector<double> VosEstimator::BuildLogAlphaTable() const {
+  std::vector<double> table(static_cast<size_t>(k_) + 1);
+  for (size_t d = 0; d <= k_; ++d) {
+    // Exactly the alpha = d / k conversion of the live estimator paths,
+    // so table lookups are bit-identical to direct LogAlphaTerm calls.
+    table[d] = LogAlphaTerm(static_cast<double>(d) / k_);
+  }
+  return table;
+}
+
+double VosEstimator::EstimateCommonItemsFromLogTerms(
+    double n_u, double n_v, double log_alpha_term,
+    double log_beta_term) const {
   // ŝ = (n_u+n_v)/2 + k·(ln|1−2α| − 2·ln|1−2β|)/4
   //   = (n_u+n_v)/2 − n̂Δ/2 (without the ≥0 clamp on n̂Δ).
   double s = 0.5 * (n_u + n_v) +
-             0.25 * k_ *
-                 (SafeLogAbs(1.0 - 2.0 * alpha) -
-                  2.0 * SafeLogAbs(1.0 - 2.0 * beta));
+             0.25 * k_ * (log_alpha_term - 2.0 * log_beta_term);
   if (options_.clamp_to_feasible) {
     s = std::clamp(s, 0.0, std::min(n_u, n_v));
   }
   return s;
+}
+
+double VosEstimator::EstimateCommonItems(double n_u, double n_v, double alpha,
+                                         double beta) const {
+  return EstimateCommonItemsFromLogTerms(n_u, n_v, LogAlphaTerm(alpha),
+                                         LogBetaTerm(beta));
+}
+
+PairEstimate VosEstimator::EstimateFromLogTerms(double n_u, double n_v,
+                                                double log_alpha_term,
+                                                double log_beta_term) const {
+  PairEstimate est;
+  est.common = EstimateCommonItemsFromLogTerms(n_u, n_v, log_alpha_term,
+                                               log_beta_term);
+  est.jaccard = JaccardFromCommon(est.common, n_u, n_v);
+  return est;
 }
 
 double VosEstimator::JaccardFromCommon(double common, double n_u,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/similarity_method.h"
 
@@ -43,6 +44,38 @@ class VosEstimator {
   /// ŝ_uv from cardinalities, observed α and β.
   double EstimateCommonItems(double n_u, double n_v, double alpha,
                              double beta) const;
+
+  // --- Precomputed-log entry points (the batch query engine) ---
+  //
+  // ŝ depends on α and β only through ln(max(|1−2α|, floor)) and
+  // ln(max(|1−2β|, floor)). Since α = d/k takes just k+1 values for a
+  // Hamming distance d, a batch engine can tabulate LogAlphaTerm once per
+  // index build and estimate each pair without any transcendental calls.
+  // EstimateCommonItems(n_u, n_v, α, β) is *defined* as
+  // EstimateCommonItemsFromLogTerms(n_u, n_v, LogAlphaTerm(α),
+  // LogBetaTerm(β)), so the two paths are bit-identical by construction.
+
+  /// ln(max(|1−2α|, floor)) — the α-dependent log term of ŝ.
+  double LogAlphaTerm(double alpha) const;
+
+  /// LogAlphaTerm(d / k) for every Hamming distance d in [0, k] — the
+  /// lookup table the batch engines index by d. Built here (once, both by
+  /// SimilarityIndex and VosMethod) so the tabulated values can never
+  /// diverge from the live path.
+  std::vector<double> BuildLogAlphaTable() const;
+
+  /// ln(max(|1−2β|, floor)) — the β-dependent log term of ŝ.
+  double LogBetaTerm(double beta) const;
+
+  /// ŝ_uv from cardinalities and the two precomputed log terms.
+  double EstimateCommonItemsFromLogTerms(double n_u, double n_v,
+                                         double log_alpha_term,
+                                         double log_beta_term) const;
+
+  /// Convenience: (ŝ, Ĵ) from cardinalities and precomputed log terms.
+  PairEstimate EstimateFromLogTerms(double n_u, double n_v,
+                                    double log_alpha_term,
+                                    double log_beta_term) const;
 
   /// Ĵ from a ŝ estimate (the paper computes Ĵ = ŝ/(n_u+n_v−ŝ)).
   double JaccardFromCommon(double common, double n_u, double n_v) const;

@@ -1,22 +1,51 @@
 #include "core/vos_method.h"
 
+#include "common/popcount.h"
+
 namespace vos::core {
 
+VosMethod::VosMethod(const VosConfig& config, UserId num_users,
+                     VosEstimatorOptions options)
+    : sketch_(config, num_users),
+      estimator_(config.k, options),
+      log_alpha_table_(estimator_.BuildLogAlphaTable()) {}
+
 BitVector VosMethod::DigestFor(UserId user) const {
-  auto it = digest_cache_.find(user);
-  if (it != digest_cache_.end()) return it->second;
+  const auto it = cache_rows_.find(user);
+  if (it != cache_rows_.end()) return cache_.RowAsBitVector(it->second);
   return sketch_.ExtractUserSketch(user);
 }
 
 void VosMethod::PrepareQuery(const std::vector<UserId>& users) {
-  digest_cache_.clear();
-  digest_cache_.reserve(users.size());
-  for (UserId u : users) {
-    digest_cache_.emplace(u, sketch_.ExtractUserSketch(u));
+  cache_ = DigestMatrix::Build(sketch_, users, query_threads_);
+  cache_rows_.clear();
+  cache_rows_.reserve(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    cache_rows_.emplace(users[i], i);
   }
+  cached_beta_ = sketch_.beta();
+  cached_log_beta_term_ = estimator_.LogBetaTerm(cached_beta_);
 }
 
 PairEstimate VosMethod::EstimatePair(UserId u, UserId v) const {
+  const auto iu = cache_rows_.find(u);
+  const auto iv = cache_rows_.find(v);
+  if (iu != cache_rows_.end() && iv != cache_rows_.end()) {
+    // Fast path: both digests cached — row kernel + log-table lookup,
+    // bit-identical to the BitVector path below by construction. The
+    // memoized log-beta term is used only while β is unchanged since
+    // PrepareQuery, so live-β semantics are preserved exactly.
+    const size_t d = XorPopcount(cache_.Row(iu->second),
+                                 cache_.Row(iv->second),
+                                 cache_.words_per_row());
+    const double beta = sketch_.beta();
+    const double log_beta_term = beta == cached_beta_
+                                     ? cached_log_beta_term_
+                                     : estimator_.LogBetaTerm(beta);
+    return estimator_.EstimateFromLogTerms(
+        sketch_.Cardinality(u), sketch_.Cardinality(v), log_alpha_table_[d],
+        log_beta_term);
+  }
   const BitVector du = DigestFor(u);
   const BitVector dv = DigestFor(v);
   const double alpha =

@@ -2,9 +2,12 @@
 //
 // EstimatePair on raw VosSketch costs O(k) hash evaluations per user; with
 // hundreds of tracked users and tens of thousands of tracked pairs per
-// checkpoint that work is quadratic in pairs. PrepareQuery materializes each
-// tracked user's reconstructed k-bit sketch once, so a pair estimate is a
-// single word-wise Hamming distance.
+// checkpoint that work is quadratic in pairs. PrepareQuery materializes the
+// tracked users' reconstructed k-bit sketches once — into a contiguous
+// DigestMatrix, extracted thread-parallel — so a pair estimate is a single
+// word-wise XOR+popcount row kernel plus a log-table lookup (no
+// transcendental calls on the pair loop; see
+// VosEstimator::EstimateFromLogTerms for the bit-identity argument).
 
 #pragma once
 
@@ -12,6 +15,7 @@
 #include <unordered_map>
 
 #include "common/bit_vector.h"
+#include "core/digest_matrix.h"
 #include "core/similarity_method.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
@@ -22,9 +26,7 @@ namespace vos::core {
 class VosMethod : public SimilarityMethod {
  public:
   VosMethod(const VosConfig& config, UserId num_users,
-            VosEstimatorOptions options = {})
-      : sketch_(config, num_users),
-        estimator_(config.k, options) {}
+            VosEstimatorOptions options = {});
 
   std::string Name() const override { return "VOS"; }
 
@@ -35,18 +37,34 @@ class VosMethod : public SimilarityMethod {
   size_t MemoryBits() const override { return sketch_.MemoryBits(); }
 
   void PrepareQuery(const std::vector<UserId>& users) override;
-  void InvalidateQueryCache() override { digest_cache_.clear(); }
+  void InvalidateQueryCache() override {
+    cache_.Clear();
+    cache_rows_.clear();
+  }
+  void SetQueryThreads(unsigned num_threads) override {
+    query_threads_ = num_threads;
+  }
 
   const VosSketch& sketch() const { return sketch_; }
   const VosEstimator& estimator() const { return estimator_; }
 
  private:
-  /// Returns the cached digest for `user`, or extracts one on the fly.
+  /// Returns the cached digest for `user`, or extracts one on the fly
+  /// (slow path for users outside the PrepareQuery set).
   BitVector DigestFor(UserId user) const;
 
   VosSketch sketch_;
   VosEstimator estimator_;
-  std::unordered_map<UserId, BitVector> digest_cache_;
+  /// ln|1−2·d/k| per Hamming distance d ∈ [0, k] (see SimilarityIndex).
+  std::vector<double> log_alpha_table_;
+  DigestMatrix cache_;
+  std::unordered_map<UserId, size_t> cache_rows_;
+  /// ln|1−2β| memoized at PrepareQuery; EstimatePair revalidates against
+  /// the live β (one compare), so estimates always reflect the current
+  /// fill while the unchanged-β hot loop pays no log.
+  double cached_beta_ = -1.0;
+  double cached_log_beta_term_ = 0.0;
+  unsigned query_threads_ = 0;
 };
 
 /// Ablation baseline: the dedicated (non-virtual) odd sketch of [9], one

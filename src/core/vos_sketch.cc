@@ -10,6 +10,13 @@ VosSketch::VosSketch(const VosConfig& config, UserId num_users)
       cardinality_(num_users, 0) {
   VOS_CHECK(config.k >= 1) << "virtual sketch needs at least one bit";
   VOS_CHECK(config.m >= 1) << "shared array must be non-empty";
+  {
+    std::vector<uint64_t> seeds(config.k);
+    for (uint32_t j = 0; j < config.k; ++j) {
+      seeds[j] = hash::DeriveSeed(f_seed_, j);
+    }
+    f_seeds_ = std::make_shared<const std::vector<uint64_t>>(std::move(seeds));
+  }
   switch (config.psi_kind) {
     case PsiKind::kTwoUniversal:
       psi_two_universal_ = std::make_shared<hash::TwoUniversalHash>(

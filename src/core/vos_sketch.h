@@ -99,10 +99,19 @@ class VosSketch {
   }
 
   /// f_j(user) ∈ [0, m) — the shared-array cell backing virtual bit j.
+  ///
+  /// The per-j sub-seed DeriveSeed(f_seed_, j) is precomputed once in the
+  /// constructor (see f_seed_table()), so every CellOf costs a single
+  /// Hash64 instead of two chained mixes — this is on the O(1) update path
+  /// *and* the O(k) digest-extraction path.
   uint64_t CellOf(UserId user, uint32_t j) const {
-    return hash::ReduceToRange(
-        hash::Hash64(user, hash::DeriveSeed(f_seed_, j)), config_.m);
+    return hash::ReduceToRange(hash::Hash64(user, (*f_seeds_)[j]),
+                               config_.m);
   }
+
+  /// The cached per-j f-seeds: f_seed_table()[j] == DeriveSeed(f_seed, j).
+  /// Batch extraction (core/digest_matrix.h) iterates this directly.
+  const std::vector<uint64_t>& f_seed_table() const { return *f_seeds_; }
 
   /// Reconstructed bit Ô_u[j] = A[f_j(u)].
   bool GetUserBit(UserId user, uint32_t j) const {
@@ -165,6 +174,9 @@ class VosSketch {
   // (snapshots!) without duplicating the 16 KiB tabulation tables.
   std::shared_ptr<const hash::TwoUniversalHash> psi_two_universal_;
   std::shared_ptr<const hash::TabulationHash> psi_tabulation_;
+  // Cached f_seeds_[j] = DeriveSeed(f_seed_, j); immutable after
+  // construction and shared across snapshot copies (k entries, 8k bytes).
+  std::shared_ptr<const std::vector<uint64_t>> f_seeds_;
   BitVector array_;
   std::vector<uint32_t> cardinality_;
 };

@@ -45,6 +45,7 @@ StatusOr<ExperimentResult> RunAccuracyExperiment(
   std::vector<std::unique_ptr<core::SimilarityMethod>> methods;
   for (const std::string& name : method_names) {
     VOS_ASSIGN_OR_RETURN(auto method, CreateMethod(name, factory));
+    method->SetQueryThreads(config.query_threads);
     methods.push_back(std::move(method));
   }
 

@@ -39,6 +39,10 @@ struct ExperimentConfig {
   size_t max_pairs = 20000;
   /// Number of evaluation checkpoints, evenly spaced over the stream.
   size_t num_checkpoints = 10;
+  /// Worker threads for per-checkpoint batch digest extraction
+  /// (SimilarityMethod::SetQueryThreads; 0 = hardware concurrency).
+  /// Metrics are bit-identical for every value.
+  unsigned query_threads = 0;
   /// Method sizing (base_k, λ, seeds, clamping).
   MethodFactoryConfig factory;
 };
