@@ -19,6 +19,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/popcount.h"
+#include "core/digest_matrix.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
 
@@ -82,9 +84,13 @@ int Run(int argc, char** argv) {
         }
       }
 
-      const BitVector du = sketch.ExtractUserSketch(0);
-      const BitVector dv = sketch.ExtractUserSketch(1);
-      const double alpha = static_cast<double>(du.HammingDistance(dv)) / k;
+      // Batch-extract the tracked pair's digests into contiguous rows
+      // (core/digest_matrix.h) instead of two heap BitVectors.
+      const core::DigestMatrix digests =
+          core::DigestMatrix::Build(sketch, {0, 1}, /*num_threads=*/1);
+      const size_t d = XorPopcount(digests.Row(0), digests.Row(1),
+                                   digests.words_per_row());
+      const double alpha = static_cast<double>(d) / k;
       const double beta = sketch.beta();
       beta_sum += beta;
 

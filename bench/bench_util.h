@@ -68,6 +68,84 @@ inline void EmitTable(const Flags& flags, const TablePrinter& table,
   std::printf("\n(csv mirrored to %s)\n", csv_path.c_str());
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// True when `s` conforms to the JSON number grammar (emit unquoted).
+/// Deliberately stricter than strtod: hex floats, inf/nan, leading '+',
+/// and bare '.5'/'5.' are all valid C parses but invalid JSON.
+inline bool LooksNumeric(const std::string& s) {
+  size_t i = 0;
+  const auto digits = [&] {
+    const size_t start = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (!digits()) return false;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == s.size();
+}
+
+/// Mirrors the table rows to --json=<path> as an array of objects (one
+/// per row, keys from `header`, plus "bench": `bench_name`), so the perf
+/// trajectory of every bench can be collected as BENCH_*.json files and
+/// diffed across PRs. Numeric-looking cells are written as JSON numbers.
+inline void MaybeEmitJson(const Flags& flags, const std::string& bench_name,
+                          const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows) {
+  const std::string json_path = flags.GetString("json", "");
+  if (json_path.empty()) return;
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                 json_path.c_str());
+    return;
+  }
+  std::fputs("[\n", out);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(out, "  {\"bench\": \"%s\"", JsonEscape(bench_name).c_str());
+    for (size_t c = 0; c < header.size() && c < rows[r].size(); ++c) {
+      const std::string& value = rows[r][c];
+      if (LooksNumeric(value)) {
+        std::fprintf(out, ", \"%s\": %s", JsonEscape(header[c]).c_str(),
+                     value.c_str());
+      } else {
+        std::fprintf(out, ", \"%s\": \"%s\"", JsonEscape(header[c]).c_str(),
+                     JsonEscape(value).c_str());
+      }
+    }
+    std::fprintf(out, "}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fputs("]\n", out);
+  std::fclose(out);
+  std::printf("\n(json mirrored to %s)\n", json_path.c_str());
+}
+
 /// Standard experiment banner: what this binary reproduces and with which
 /// configuration, so the raw output is self-describing in EXPERIMENTS.md.
 inline void PrintBanner(const std::string& title, const Flags& flags) {

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "[--users=N] [--edges_per_user=N] [--k=N] [--m=N] [--threads=N] "
       "[--tau=J] [--repeats=N] [--seed=N] [--dist=zipf|uniform] "
-      "[--csv=path]");
+      "[--csv=path] [--json=path]");
   const auto users = static_cast<UserId>(flags.GetInt("users", 2000));
   const auto edges_per_user =
       static_cast<size_t>(flags.GetInt("edges_per_user", 200));
@@ -209,10 +209,11 @@ int main(int argc, char** argv) {
          "pairs/s", scalar_pairs / batch_many);
   }
 
-  EmitTable(flags, table,
-            {"phase", "engine", "threads", "seconds", "throughput", "unit",
-             "speedup"},
-            rows);
+  const std::vector<std::string> header = {
+      "phase", "engine", "threads", "seconds", "throughput", "unit",
+      "speedup"};
+  EmitTable(flags, table, header, rows);
+  MaybeEmitJson(flags, "micro_query_path", header, rows);
   std::printf("\n%zu pairs above tau=%.2f; batch results verified "
               "bit-identical to the scalar seed path.\n",
               reference.size(), tau);

@@ -42,6 +42,8 @@ void BM_VosUpdate(benchmark::State& state) {
   core::VosConfig config;
   config.k = static_cast<uint32_t>(state.range(0));
   config.m = 1 << 22;
+  // The paper's bare O(1) update: no dirty tracking on the timed path.
+  config.track_dirty = false;
   core::VosMethod method(config, UnitStream().num_users());
   DriveUpdates(state, method);
 }

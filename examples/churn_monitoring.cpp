@@ -52,14 +52,21 @@ int main() {
               "beta << 0.5)\n\n",
               drift.delta_beta());
 
-  // Rank users by estimated churn.
+  // Rank users by estimated churn. One batched extraction over the delta
+  // array (contiguous DigestMatrix rows) replaces a per-user
+  // reconstruction loop.
+  std::vector<vos::stream::UserId> all_users(stream.num_users());
+  for (vos::stream::UserId u = 0; u < stream.num_users(); ++u) {
+    all_users[u] = u;
+  }
+  const std::vector<double> drifts = drift.EstimateDriftBatch(all_users);
   struct Row {
     vos::stream::UserId user;
     double estimated;
   };
   std::vector<Row> rows;
   for (vos::stream::UserId u = 0; u < stream.num_users(); ++u) {
-    rows.push_back({u, drift.EstimateDrift(u)});
+    rows.push_back({u, drifts[u]});
   }
   std::sort(rows.begin(), rows.end(),
             [](const Row& a, const Row& b) { return a.estimated > b.estimated; });

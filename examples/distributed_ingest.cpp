@@ -17,6 +17,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/popcount.h"
+#include "core/digest_matrix.h"
 #include "core/vos_io.h"
 #include "core/vos_sketch.h"
 #include "core/vos_estimator.h"
@@ -77,10 +79,14 @@ int main() {
       const size_t truth = exact.CommonItems(u, v);
       if (truth < 5) continue;
       auto estimate = [&](const vos::core::VosSketch& sketch) {
-        const vos::BitVector du = sketch.ExtractUserSketch(u);
-        const vos::BitVector dv = sketch.ExtractUserSketch(v);
+        // Contiguous batch extraction (one DigestMatrix) instead of two
+        // heap BitVectors per pair.
+        const vos::core::DigestMatrix digests =
+            vos::core::DigestMatrix::Build(sketch, {u, v}, 1);
         const double alpha =
-            static_cast<double>(du.HammingDistance(dv)) / config.k;
+            static_cast<double>(vos::XorPopcount(
+                digests.Row(0), digests.Row(1), digests.words_per_row())) /
+            config.k;
         return estimator.EstimateCommonItems(
             sketch.Cardinality(u), sketch.Cardinality(v), alpha,
             sketch.beta());

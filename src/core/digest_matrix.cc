@@ -15,15 +15,20 @@ unsigned ResolveThreadCount(unsigned requested, size_t work_items) {
   return std::max(threads, 1u);
 }
 
-void DigestMatrix::ExtractRow(const VosSketch& sketch, UserId user,
-                              uint64_t* dst) {
+void DigestMatrix::ExtractRowFromArray(const BitVector& array,
+                                       const VosSketch& sketch, UserId user,
+                                       uint64_t* dst, uint32_t* cells) {
+  VOS_DCHECK(array.size() == sketch.config().m)
+      << "array/geometry size mismatch";
   const std::vector<uint64_t>& seeds = sketch.f_seed_table();
-  const BitVector& array = sketch.array();
   const uint64_t m = sketch.config().m;
   const uint32_t k = sketch.config().k;
+  VOS_DCHECK(cells == nullptr || m <= uint64_t{0xffffffff})
+      << "cell capture stores cells as uint32; m too large";
   uint64_t word = 0;
   for (uint32_t j = 0; j < k; ++j) {
     const uint64_t cell = hash::ReduceToRange(hash::Hash64(user, seeds[j]), m);
+    if (cells != nullptr) cells[j] = static_cast<uint32_t>(cell);
     word |= static_cast<uint64_t>(array.Get(cell)) << (j & 63);
     if ((j & 63) == 63) {
       *dst++ = word;
@@ -33,20 +38,42 @@ void DigestMatrix::ExtractRow(const VosSketch& sketch, UserId user,
   if ((k & 63) != 0) *dst = word;
 }
 
-DigestMatrix DigestMatrix::Build(const VosSketch& sketch,
-                                 const std::vector<UserId>& users,
-                                 unsigned num_threads) {
+void DigestMatrix::ExtractRow(const VosSketch& sketch, UserId user,
+                              uint64_t* dst) {
+  ExtractRowFromArray(sketch.array(), sketch, user, dst);
+}
+
+void DigestMatrix::ExtractRowFromCells(const BitVector& array,
+                                       const uint32_t* cells, uint32_t k,
+                                       uint64_t* dst) {
+  uint64_t word = 0;
+  for (uint32_t j = 0; j < k; ++j) {
+    word |= static_cast<uint64_t>(array.Get(cells[j])) << (j & 63);
+    if ((j & 63) == 63) {
+      *dst++ = word;
+      word = 0;
+    }
+  }
+  if ((k & 63) != 0) *dst = word;
+}
+
+/// Shared thread-parallel fill over disjoint row ranges.
+DigestMatrix DigestMatrix::BuildImpl(const BitVector& array,
+                                     const VosSketch& sketch,
+                                     const std::vector<stream::UserId>& users,
+                                     unsigned num_threads) {
   DigestMatrix matrix;
   matrix.k_ = sketch.config().k;
   matrix.num_rows_ = users.size();
-  matrix.words_per_row_ = WordsPerRow(matrix.k_);
+  matrix.words_per_row_ = DigestMatrix::WordsPerRow(matrix.k_);
   matrix.words_.assign(matrix.num_rows_ * matrix.words_per_row_, 0);
   if (matrix.num_rows_ == 0) return matrix;
 
   const auto extract_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      ExtractRow(sketch, users[i],
-                 matrix.words_.data() + i * matrix.words_per_row_);
+      DigestMatrix::ExtractRowFromArray(
+          array, sketch, users[i],
+          matrix.words_.data() + i * matrix.words_per_row_);
     }
   };
 
@@ -66,6 +93,21 @@ DigestMatrix DigestMatrix::Build(const VosSketch& sketch,
   }
   for (std::thread& worker : workers) worker.join();
   return matrix;
+}
+
+DigestMatrix DigestMatrix::Build(const VosSketch& sketch,
+                                 const std::vector<UserId>& users,
+                                 unsigned num_threads) {
+  return BuildImpl(sketch.array(), sketch, users, num_threads);
+}
+
+DigestMatrix DigestMatrix::BuildFromArray(const BitVector& array,
+                                          const VosSketch& sketch,
+                                          const std::vector<UserId>& users,
+                                          unsigned num_threads) {
+  VOS_CHECK(array.size() == sketch.config().m)
+      << "array/geometry size mismatch";
+  return BuildImpl(array, sketch, users, num_threads);
 }
 
 BitVector DigestMatrix::RowAsBitVector(size_t i) const {

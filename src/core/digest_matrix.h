@@ -34,15 +34,44 @@ class DigestMatrix {
   /// An empty matrix (rows() == 0).
   DigestMatrix() = default;
 
+  /// An all-zero matrix with `rows` k-bit rows; callers fill rows in
+  /// place via MutableRow (the incremental index mixes fresh extractions
+  /// with rows copied from the previous snapshot).
+  DigestMatrix(uint32_t k, size_t rows)
+      : k_(k),
+        num_rows_(rows),
+        words_per_row_(WordsPerRow(k)),
+        words_(rows * WordsPerRow(k), 0) {}
+
   /// Extracts one row per user in `users`, in order, using `num_threads`
   /// worker threads (0 = std::thread::hardware_concurrency()).
   static DigestMatrix Build(const VosSketch& sketch,
                             const std::vector<UserId>& users,
                             unsigned num_threads = 0);
 
+  /// Like Build, but reads bits from `array` instead of sketch.array();
+  /// the geometry (k, m, f seeds) still comes from `sketch`. This serves
+  /// any derived array that shares the sketch's cell map — e.g. VosDrift's
+  /// XOR-delta array, whose per-user reconstruction is exactly a row
+  /// extraction against A(t1) ⊕ A(t2). `array` must have sketch.config().m
+  /// bits.
+  static DigestMatrix BuildFromArray(const BitVector& array,
+                                     const VosSketch& sketch,
+                                     const std::vector<UserId>& users,
+                                     unsigned num_threads = 0);
+
   /// Extracts user `user`'s digest into dst[0 .. WordsPerRow(k)), packing
   /// the same bits as sketch.ExtractUserSketch(user); pad bits are zeroed.
   static void ExtractRow(const VosSketch& sketch, UserId user, uint64_t* dst);
+
+  /// ExtractRow against an alternate `array` (see BuildFromArray). When
+  /// `cells` is non-null it additionally records the k cell indices
+  /// f_j(user) into cells[0..k) — the incremental index captures them at
+  /// Rebuild so later refreshes re-read rows with k array lookups and no
+  /// hashing (cells depend only on the user, never on the array).
+  static void ExtractRowFromArray(const BitVector& array,
+                                  const VosSketch& sketch, UserId user,
+                                  uint64_t* dst, uint32_t* cells = nullptr);
 
   /// Words needed for one k-bit row.
   static size_t WordsPerRow(uint32_t k) {
@@ -60,6 +89,19 @@ class DigestMatrix {
     return words_.data() + i * words_per_row_;
   }
 
+  /// Writable words of row i (distinct rows may be filled concurrently).
+  uint64_t* MutableRow(size_t i) {
+    VOS_DCHECK(i < num_rows_) << "row" << i << "of" << num_rows_;
+    return words_.data() + i * words_per_row_;
+  }
+
+  /// Packs the k bits array[cells[0]], …, array[cells[k-1]] into
+  /// dst[0 .. WordsPerRow(k)) — re-extraction from previously captured
+  /// cells (see ExtractRowFromArray): k array reads, zero hashing.
+  static void ExtractRowFromCells(const BitVector& array,
+                                  const uint32_t* cells, uint32_t k,
+                                  uint64_t* dst);
+
   /// Row i as a standalone BitVector (reference/test path; copies).
   BitVector RowAsBitVector(size_t i) const;
 
@@ -75,6 +117,11 @@ class DigestMatrix {
   }
 
  private:
+  static DigestMatrix BuildImpl(const BitVector& array,
+                                const VosSketch& sketch,
+                                const std::vector<UserId>& users,
+                                unsigned num_threads);
+
   uint32_t k_ = 0;
   size_t num_rows_ = 0;
   size_t words_per_row_ = 0;

@@ -1,0 +1,73 @@
+#include "core/sharded_vos_method.h"
+
+#include <algorithm>
+
+#include "common/popcount.h"
+
+namespace vos::core {
+
+ShardedVosMethod::ShardedVosMethod(const ShardedVosConfig& config,
+                                   UserId num_users,
+                                   VosEstimatorOptions options)
+    : sketch_(config, num_users, options),
+      log_alpha_table_(sketch_.estimator().BuildLogAlphaTable()),
+      cache_(config.num_shards),
+      cached_beta_(config.num_shards, -1.0),
+      cached_log_beta_term_(config.num_shards, 0.0) {}
+
+void ShardedVosMethod::PrepareQuery(const std::vector<UserId>& users) {
+  sketch_.Flush();
+  const uint32_t shards = sketch_.num_shards();
+  std::vector<std::vector<UserId>> per_shard(shards);
+  for (UserId user : users) {
+    per_shard[sketch_.ShardOf(user)].push_back(user);
+  }
+  cache_slots_.clear();
+  cache_slots_.reserve(users.size());
+  for (uint32_t s = 0; s < shards; ++s) {
+    cache_[s] =
+        DigestMatrix::Build(sketch_.shard(s), per_shard[s], query_threads_);
+    for (size_t row = 0; row < per_shard[s].size(); ++row) {
+      cache_slots_.emplace(per_shard[s][row],
+                           CacheSlot{s, static_cast<uint32_t>(row)});
+    }
+    cached_beta_[s] = sketch_.shard(s).beta();
+    cached_log_beta_term_[s] =
+        sketch_.estimator().LogBetaTerm(cached_beta_[s]);
+  }
+}
+
+void ShardedVosMethod::InvalidateQueryCache() {
+  cache_slots_.clear();
+  for (DigestMatrix& matrix : cache_) matrix.Clear();
+  std::fill(cached_beta_.begin(), cached_beta_.end(), -1.0);
+}
+
+PairEstimate ShardedVosMethod::EstimatePair(UserId u, UserId v) const {
+  const auto iu = cache_slots_.find(u);
+  const auto iv = cache_slots_.find(v);
+  if (iu != cache_slots_.end() && iv != cache_slots_.end()) {
+    const CacheSlot& su = iu->second;
+    const CacheSlot& sv = iv->second;
+    const size_t d =
+        XorPopcount(cache_[su.shard].Row(su.row), cache_[sv.shard].Row(sv.row),
+                    cache_[su.shard].words_per_row());
+    const VosEstimator& estimator = sketch_.estimator();
+    // Memoized per-shard log-beta terms, revalidated against the live β
+    // so estimates always reflect the current fill (as VosMethod does).
+    const auto log_beta = [&](uint32_t shard) {
+      const double beta = sketch_.shard(shard).beta();
+      return beta == cached_beta_[shard] ? cached_log_beta_term_[shard]
+                                         : estimator.LogBetaTerm(beta);
+    };
+    const double log_beta_term =
+        0.5 * (log_beta(su.shard) + log_beta(sv.shard));
+    return estimator.EstimateFromLogTerms(
+        sketch_.shard(su.shard).Cardinality(u),
+        sketch_.shard(sv.shard).Cardinality(v), log_alpha_table_[d],
+        log_beta_term);
+  }
+  return sketch_.EstimatePair(u, v);
+}
+
+}  // namespace vos::core

@@ -1,0 +1,73 @@
+// SimilarityMethod adapter for ShardedVosSketch: the sharded write path
+// behind the same harness interface as every other method.
+//
+// Update/UpdateBatch feed the concurrent ingest pipeline; FlushIngest
+// quiesces it (the harness calls it at every checkpoint). PrepareQuery
+// flushes, then materializes the tracked users' digests into one
+// DigestMatrix *per shard* — each user extracted from its owning shard —
+// so EstimatePair is a word-wise XOR+popcount between two cached rows
+// plus log-table lookups, exactly like VosMethod's batch path. Rows from
+// different shards are directly comparable (shared ψ, equal k); only the
+// β correction switches to the two-shard form (see
+// core/sharded_vos_sketch.h).
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/digest_matrix.h"
+#include "core/sharded_vos_sketch.h"
+#include "core/similarity_method.h"
+
+namespace vos::core {
+
+/// Sharded VOS as a pluggable SimilarityMethod ("VOS-sharded").
+class ShardedVosMethod : public SimilarityMethod {
+ public:
+  ShardedVosMethod(const ShardedVosConfig& config, UserId num_users,
+                   VosEstimatorOptions options = {});
+
+  std::string Name() const override { return "VOS-sharded"; }
+
+  void Update(const Element& e) override { sketch_.Update(e); }
+  void UpdateBatch(const Element* elements, size_t count) override {
+    sketch_.UpdateBatch(elements, count);
+  }
+  void FlushIngest() override { sketch_.Flush(); }
+
+  PairEstimate EstimatePair(UserId u, UserId v) const override;
+
+  size_t MemoryBits() const override { return sketch_.MemoryBits(); }
+
+  void PrepareQuery(const std::vector<UserId>& users) override;
+  void InvalidateQueryCache() override;
+  void SetQueryThreads(unsigned num_threads) override {
+    query_threads_ = num_threads;
+  }
+
+  const ShardedVosSketch& sketch() const { return sketch_; }
+  ShardedVosSketch& mutable_sketch() { return sketch_; }
+
+ private:
+  /// Where a cached user's digest row lives.
+  struct CacheSlot {
+    uint32_t shard = 0;
+    uint32_t row = 0;
+  };
+
+  ShardedVosSketch sketch_;
+  /// ln|1−2·d/k| per Hamming distance d (see SimilarityIndex).
+  std::vector<double> log_alpha_table_;
+  /// One digest matrix per shard, rows for that shard's tracked users.
+  std::vector<DigestMatrix> cache_;
+  std::unordered_map<UserId, CacheSlot> cache_slots_;
+  /// Per-shard β and log-beta term memoized at PrepareQuery; EstimatePair
+  /// revalidates against the live β (one compare per endpoint).
+  std::vector<double> cached_beta_;
+  std::vector<double> cached_log_beta_term_;
+  unsigned query_threads_ = 0;
+};
+
+}  // namespace vos::core

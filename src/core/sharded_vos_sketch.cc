@@ -1,0 +1,216 @@
+#include "core/sharded_vos_sketch.h"
+
+#include <algorithm>
+
+#include "common/popcount.h"
+#include "core/digest_matrix.h"
+#include "hashing/seeds.h"
+
+namespace vos::core {
+namespace {
+
+/// Router and per-shard f seeds branch off the master seed under distinct
+/// tags so they are unrelated to ψ's and the base f family's sub-seeds.
+constexpr uint64_t kRouterTag = 0x40a7e0;
+constexpr uint64_t kShardFTag = 0x5a4d00;
+
+}  // namespace
+
+VosConfig ShardedVosSketch::ShardConfig(const ShardedVosConfig& config,
+                                        uint32_t shard) {
+  VOS_CHECK(shard < config.num_shards)
+      << "shard" << shard << "of" << config.num_shards;
+  VosConfig shard_config = config.base;
+  if (config.num_shards > 1) {
+    shard_config.m =
+        std::max<uint64_t>(1, config.base.m / config.num_shards);
+    shard_config.f_seed =
+        hash::DeriveSeed2(config.base.seed, kShardFTag, shard);
+  }
+  return shard_config;
+}
+
+ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
+                                   UserId num_users,
+                                   VosEstimatorOptions estimator_options)
+    : config_(config),
+      router_(config.num_shards,
+              hash::DeriveSeed(config.base.seed, kRouterTag)),
+      estimator_(config.base.k, estimator_options) {
+  VOS_CHECK(config.num_shards >= 1) << "need at least one shard";
+  // A zero capacity would make the back-pressure wait unsatisfiable
+  // (permanent producer deadlock); a zero batch size would enqueue
+  // per-element batches. Clamp both to sane minima.
+  config_.queue_capacity = std::max<size_t>(1, config_.queue_capacity);
+  config_.batch_size = std::max<size_t>(1, config_.batch_size);
+  shards_.reserve(config.num_shards);
+  for (uint32_t s = 0; s < config.num_shards; ++s) {
+    shards_.emplace_back(ShardConfig(config, s), num_users);
+  }
+  if (config.ingest_threads > 0) {
+    const unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
+        {config.ingest_threads, config.num_shards, 256}));
+    owner_.resize(config.num_shards);
+    for (uint32_t s = 0; s < config.num_shards; ++s) {
+      owner_[s] = static_cast<uint8_t>(s % workers);
+    }
+    worker_state_.resize(workers);
+    worker_threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      worker_threads_.emplace_back(&ShardedVosSketch::WorkerLoop, this, w);
+    }
+  }
+}
+
+ShardedVosSketch::~ShardedVosSketch() {
+  if (!async()) return;
+  Flush();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : worker_threads_) t.join();
+}
+
+void ShardedVosSketch::Update(const stream::Element& e) {
+  if (!async()) {
+    shards_[router_.ShardOf(e.user)].Update(e);
+    return;
+  }
+  pending_.push_back(e);
+  if (pending_.size() >= config_.batch_size) FlushPendingBuffer();
+}
+
+void ShardedVosSketch::UpdateBatch(const stream::Element* elements,
+                                   size_t count) {
+  if (count == 0) return;
+  if (!async()) {
+    for (size_t i = 0; i < count; ++i) {
+      shards_[router_.ShardOf(elements[i].user)].Update(elements[i]);
+    }
+    return;
+  }
+  // Keep per-shard order: anything buffered by Update() precedes this
+  // batch in stream order.
+  FlushPendingBuffer();
+  auto batch = std::make_shared<IngestBatch>();
+  batch->elements.assign(elements, elements + count);
+  batch->tags.resize(count);
+  router_.Tag(batch->elements.data(), count, batch->tags.data());
+  EnqueueBatch(std::move(batch));
+}
+
+void ShardedVosSketch::FlushPendingBuffer() {
+  if (pending_.empty()) return;
+  auto batch = std::make_shared<IngestBatch>();
+  batch->elements = std::move(pending_);
+  pending_.clear();
+  batch->tags.resize(batch->elements.size());
+  router_.Tag(batch->elements.data(), batch->elements.size(),
+              batch->tags.data());
+  EnqueueBatch(std::move(batch));
+}
+
+void ShardedVosSketch::EnqueueBatch(std::shared_ptr<const IngestBatch> batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Back-pressure: wait until every worker queue has room, then publish
+  // the shared batch to all of them at once (workers skip foreign
+  // elements while scanning, so no per-shard copies are made).
+  cv_.wait(lock, [&] {
+    for (const WorkerState& w : worker_state_) {
+      if (w.queue.size() >= config_.queue_capacity) return false;
+    }
+    return true;
+  });
+  for (WorkerState& w : worker_state_) {
+    w.queue.push_back(batch);
+    ++w.enqueued;
+  }
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void ShardedVosSketch::WorkerLoop(unsigned worker) {
+  WorkerState& state = worker_state_[worker];
+  for (;;) {
+    std::shared_ptr<const IngestBatch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !state.queue.empty(); });
+      if (state.queue.empty()) return;  // stopping_ and drained
+      batch = std::move(state.queue.front());
+      state.queue.pop_front();
+    }
+    cv_.notify_all();  // queue shrank: unblock a back-pressured producer
+    const stream::Element* elements = batch->elements.data();
+    const uint16_t* tags = batch->tags.data();
+    const size_t count = batch->elements.size();
+    const uint8_t me = static_cast<uint8_t>(worker);
+    for (size_t i = 0; i < count; ++i) {
+      const uint16_t shard = tags[i];
+      if (owner_[shard] == me) shards_[shard].Update(elements[i]);
+    }
+    batch.reset();  // release before signalling completion
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++state.completed;
+    }
+    cv_.notify_all();  // Flush() may be waiting on completion counts
+  }
+}
+
+void ShardedVosSketch::Flush() {
+  if (!async()) return;
+  FlushPendingBuffer();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    for (const WorkerState& w : worker_state_) {
+      if (w.completed != w.enqueued) return false;
+    }
+    return true;
+  });
+}
+
+bool ShardedVosSketch::HasPendingIngest() const {
+  if (!async()) return false;
+  if (!pending_.empty()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const WorkerState& w : worker_state_) {
+    if (w.completed != w.enqueued) return true;
+  }
+  return false;
+}
+
+PairEstimate ShardedVosSketch::EstimatePair(UserId u, UserId v) const {
+  VOS_DCHECK(!HasPendingIngest())
+      << "EstimatePair on a non-quiesced pipeline; call Flush() first";
+  const VosSketch& sketch_u = shards_[router_.ShardOf(u)];
+  const VosSketch& sketch_v = shards_[router_.ShardOf(v)];
+  const uint32_t k = config_.base.k;
+  const size_t words = DigestMatrix::WordsPerRow(k);
+  std::vector<uint64_t> row_u(words), row_v(words);
+  DigestMatrix::ExtractRow(sketch_u, u, row_u.data());
+  DigestMatrix::ExtractRow(sketch_v, v, row_v.data());
+  const size_t d = XorPopcount(row_u.data(), row_v.data(), words);
+  const double alpha = static_cast<double>(d) / k;
+  // Each digest carries its own shard's contamination, so the §IV
+  // (1−2β)² factor generalizes to (1−2β_u)(1−2β_v): pass the mean of the
+  // two log-beta terms where the estimator doubles it. Same-shard pairs
+  // reduce to the standalone single-β estimate bit-for-bit.
+  const double log_beta_term =
+      0.5 * (estimator_.LogBetaTerm(sketch_u.beta()) +
+             estimator_.LogBetaTerm(sketch_v.beta()));
+  return estimator_.EstimateFromLogTerms(sketch_u.Cardinality(u),
+                                         sketch_v.Cardinality(v),
+                                         estimator_.LogAlphaTerm(alpha),
+                                         log_beta_term);
+}
+
+size_t ShardedVosSketch::MemoryBits() const {
+  size_t total = 0;
+  for (const VosSketch& shard : shards_) total += shard.MemoryBits();
+  return total;
+}
+
+}  // namespace vos::core

@@ -1,0 +1,179 @@
+// ShardedVosSketch: the concurrent, shard-aware write path of VOS.
+//
+// The paper's O(1) update (§IV) leaves a serial `for (e : stream)
+// Update(e)` loop as the only ingestion bottleneck. This class removes it
+// by partitioning the stream *by user* across S fully independent
+// VosSketch shards: shard s owns every user with ShardOf(u) == s and
+// nothing else — its own bit array (m/S bits of the total budget), its own
+// exact β counter, its own f-cell family (per-shard derived f seed), its
+// own dirty set. Shards never share mutable state, so S ingest workers
+// proceed without any synchronization on the hot path.
+//
+// Shard-routing invariant: a user's entire element history lands on
+// exactly one shard (stream/shard_router.h), which keeps every shard's
+// sub-stream locally feasible and makes every pair query answerable —
+// both endpoints of (u, v) live in shards known from two ShardOf calls,
+// and their digests remain XOR-comparable because ψ (item → virtual bit)
+// is shared across shards; only the f families (virtual bit → cell)
+// differ. Same-shard pairs estimate exactly as a standalone VosSketch on
+// that shard's sub-stream would; cross-shard pairs generalize the §IV
+// contamination correction from (1−2β)² to (1−2β_A)(1−2β_B), i.e. the
+// 2·ln|1−2β| term becomes ln|1−2β_A| + ln|1−2β_B|.
+//
+// Ingestion pipeline (ingest_threads ≥ 1): the producer tags each batch
+// with per-element shard ids and enqueues it — one shared, immutable
+// batch — onto every worker's bounded queue. Worker w scans the batch and
+// applies exactly the elements whose shard it owns (shard s belongs to
+// worker s mod W), preserving per-shard element order; back-pressure
+// blocks the producer when a queue is full. With ingest_threads == 0 the
+// pipeline is synchronous: UpdateBatch routes and applies inline, which
+// is deterministic and what the equivalence tests compare against.
+//
+// Thread-safety contract: Update / UpdateBatch / Flush are
+// producer-side calls and must come from one thread at a time. Queries
+// (EstimatePair, shard(), Cardinality) require a quiesced pipeline —
+// call Flush() first; they are then const and concurrent-safe. The
+// destructor flushes and joins the workers.
+//
+// Known costs at extreme scale (ROADMAP "Ingestion engine" follow-ups):
+// each shard is a full VosSketch sized for ALL users, so per-user state
+// (cardinality counters, dirty epochs) is allocated S times — ~8·S
+// bytes/user, invisible to MemoryBits(), which counts sketch arrays
+// only; a per-shard dense user remap would reclaim it. And because each
+// worker scans the whole tagged batch (skipping foreign elements), the
+// per-worker scan floor caps async speedup at roughly
+// (t_update + t_scan)/t_scan for large S; per-(producer, shard)
+// sub-batches remove the O(S·N) scan when shard counts grow past the
+// worker count of one socket.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/vos_estimator.h"
+#include "core/vos_sketch.h"
+#include "stream/shard_router.h"
+
+namespace vos::core {
+
+/// Sizing and pipeline tunables of a sharded VOS sketch.
+struct ShardedVosConfig {
+  /// Total-budget sketch config: `base.m` is the bit budget across ALL
+  /// shards (each shard gets m / num_shards), `base.seed` seeds ψ (shared
+  /// by every shard) and the router; per-shard f seeds are derived from
+  /// it. With num_shards == 1 the shard is configured exactly as a
+  /// standalone VosSketch(base).
+  VosConfig base;
+  /// Number of independent shards (≥ 1).
+  uint32_t num_shards = 1;
+  /// Ingest worker threads: 0 = synchronous inline ingestion (no worker
+  /// threads, deterministic); otherwise min(ingest_threads, num_shards)
+  /// workers are spawned and each owns a fixed subset of the shards.
+  unsigned ingest_threads = 0;
+  /// Elements buffered by Update() before auto-enqueueing one batch
+  /// (asynchronous mode only; UpdateBatch enqueues the caller's batch
+  /// as-is).
+  size_t batch_size = 4096;
+  /// Bounded queue depth, in batches per worker; a full queue blocks the
+  /// producer (back-pressure instead of unbounded memory).
+  size_t queue_capacity = 64;
+};
+
+/// S independent VosSketch shards behind one ingest/query facade.
+class ShardedVosSketch {
+ public:
+  ShardedVosSketch(const ShardedVosConfig& config, UserId num_users,
+                   VosEstimatorOptions estimator_options = {});
+  ~ShardedVosSketch();
+
+  ShardedVosSketch(const ShardedVosSketch&) = delete;
+  ShardedVosSketch& operator=(const ShardedVosSketch&) = delete;
+
+  /// The VosConfig shard `shard` runs: base with m divided by num_shards
+  /// and (for num_shards > 1) a per-shard derived f seed. Exposed so
+  /// tests and external shard replicas can construct bit-identical
+  /// standalone references.
+  static VosConfig ShardConfig(const ShardedVosConfig& config,
+                               uint32_t shard);
+
+  /// Processes one element. Synchronous mode applies it inline;
+  /// asynchronous mode buffers it and enqueues a batch every
+  /// `batch_size` elements.
+  void Update(const stream::Element& e);
+
+  /// Processes a contiguous batch, preserving per-shard element order.
+  void UpdateBatch(const stream::Element* elements, size_t count);
+
+  /// Blocks until every accepted element is applied to its shard
+  /// (including the Update() buffer). No-op in synchronous mode.
+  void Flush();
+
+  /// True while elements are buffered or queued but not yet applied.
+  bool HasPendingIngest() const;
+
+  /// (ŝ, Ĵ) for a pair at the current (flushed) state. Same-shard pairs
+  /// match a standalone VosSketch bit-for-bit; cross-shard pairs use the
+  /// two-β contamination correction (see file comment).
+  PairEstimate EstimatePair(UserId u, UserId v) const;
+
+  uint32_t ShardOf(UserId user) const { return router_.ShardOf(user); }
+  uint32_t num_shards() const { return router_.num_shards(); }
+  const stream::ShardRouter& router() const { return router_; }
+
+  const VosSketch& shard(uint32_t s) const { return shards_[s]; }
+  VosSketch& mutable_shard(uint32_t s) { return shards_[s]; }
+
+  /// n_u, read from the user's owning shard.
+  uint32_t Cardinality(UserId user) const {
+    return shards_[ShardOf(user)].Cardinality(user);
+  }
+
+  /// Sum of the shard arrays — ≈ base.m by construction.
+  size_t MemoryBits() const;
+
+  const ShardedVosConfig& config() const { return config_; }
+  const VosEstimator& estimator() const { return estimator_; }
+  UserId num_users() const { return shards_[0].num_users(); }
+
+ private:
+  /// One tagged, immutable batch shared by every worker.
+  struct IngestBatch {
+    std::vector<stream::Element> elements;
+    std::vector<uint16_t> tags;  ///< tags[i] = shard of elements[i]
+  };
+
+  struct WorkerState {
+    std::deque<std::shared_ptr<const IngestBatch>> queue;  // guarded by mu_
+    size_t enqueued = 0;   ///< batches pushed (guarded by mu_)
+    size_t completed = 0;  ///< batches fully applied (guarded by mu_)
+  };
+
+  bool async() const { return !worker_threads_.empty(); }
+  void EnqueueBatch(std::shared_ptr<const IngestBatch> batch);
+  void FlushPendingBuffer();
+  void WorkerLoop(unsigned worker);
+
+  ShardedVosConfig config_;
+  stream::ShardRouter router_;
+  VosEstimator estimator_;
+  std::vector<VosSketch> shards_;
+  /// owner_[s] = worker that applies shard s's elements.
+  std::vector<uint8_t> owner_;
+
+  // Producer-side Update() buffer (async mode; single producer).
+  std::vector<stream::Element> pending_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<WorkerState> worker_state_;
+  bool stopping_ = false;
+  std::vector<std::thread> worker_threads_;
+};
+
+}  // namespace vos::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <thread>
 
 #include "common/popcount.h"
@@ -55,14 +56,8 @@ SimilarityIndex::SimilarityIndex(const VosSketch& sketch,
       query_options_(query_options),
       log_alpha_table_(estimator_.BuildLogAlphaTable()) {}
 
-void SimilarityIndex::Rebuild(std::vector<UserId> candidates) {
-  candidates_ = std::move(candidates);
+void SimilarityIndex::SortRowsAndMaps() {
   const size_t n = candidates_.size();
-  cardinalities_.clear();
-  cardinalities_.reserve(n);
-  for (UserId u : candidates_) {
-    cardinalities_.push_back(sketch_->Cardinality(u));
-  }
   sorted_rows_.resize(n);
   for (size_t i = 0; i < n; ++i) sorted_rows_[i] = static_cast<uint32_t>(i);
   std::sort(sorted_rows_.begin(), sorted_rows_.end(),
@@ -73,20 +68,162 @@ void SimilarityIndex::Rebuild(std::vector<UserId> candidates) {
             });
   row_of_orig_.assign(n, 0);
   cards_by_row_.resize(n);
-  std::vector<UserId> ordered_users(n);
   for (size_t p = 0; p < n; ++p) {
     const uint32_t i = sorted_rows_[p];
     row_of_orig_[i] = static_cast<uint32_t>(p);
     cards_by_row_[p] = cardinalities_[i];
-    ordered_users[p] = candidates_[i];
   }
-  matrix_ =
-      DigestMatrix::Build(*sketch_, ordered_users, query_options_.num_threads);
   row_of_.clear();
   row_of_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     row_of_.emplace(candidates_[i], row_of_orig_[i]);  // first occurrence
   }
+}
+
+void SimilarityIndex::Rebuild(std::vector<UserId> candidates) {
+  candidates_ = std::move(candidates);
+  const size_t n = candidates_.size();
+  cardinalities_.clear();
+  cardinalities_.reserve(n);
+  for (UserId u : candidates_) {
+    cardinalities_.push_back(sketch_->Cardinality(u));
+  }
+  SortRowsAndMaps();
+  const uint32_t k = sketch_->config().k;
+  if (!query_options_.incremental) {
+    std::vector<UserId> ordered_users(n);
+    for (size_t p = 0; p < n; ++p) {
+      ordered_users[p] = candidates_[sorted_rows_[p]];
+    }
+    matrix_ = DigestMatrix::Build(*sketch_, ordered_users,
+                                  query_options_.num_threads);
+    snapshot_words_.clear();
+    cells_.clear();
+    cells_.shrink_to_fit();
+    bucket_offsets_.clear();
+    bucket_entries_.clear();
+  } else {
+    // Incremental snapshot: extract as usual but capture every row's
+    // cells (keyed by stable candidate index, not by sorted position —
+    // the sorted order changes across refreshes, the cells never do).
+    const uint64_t m = sketch_->config().m;
+    VOS_CHECK(sketch_->tracks_dirty())
+        << "incremental index needs a sketch with VosConfig::track_dirty";
+    VOS_CHECK(m <= uint64_t{0xffffffff})
+        << "incremental index stores cells as uint32; m too large";
+    VOS_CHECK(n < (size_t{1} << 26))
+        << "incremental index packs candidate ids into 26 bits";
+    VOS_CHECK(n * static_cast<size_t>(k) <= uint64_t{0xffffffff})
+        << "incremental index offsets are uint32; candidates*k too large";
+    cells_.resize(n * static_cast<size_t>(k));
+    matrix_ = DigestMatrix(k, n);
+    const size_t block = 64;
+    const size_t num_blocks = (n + block - 1) / block;
+    const unsigned threads =
+        ResolveThreadCount(query_options_.num_threads, num_blocks);
+    RunBlocks(threads, num_blocks, [&](size_t b) {
+      const size_t end = std::min(n, (b + 1) * block);
+      for (size_t p = b * block; p < end; ++p) {
+        const uint32_t i = sorted_rows_[p];
+        DigestMatrix::ExtractRowFromArray(
+            sketch_->array(), *sketch_, candidates_[i], matrix_.MutableRow(p),
+            cells_.data() + static_cast<size_t>(i) * k);
+      }
+    });
+    // Counting-sorted inverse index, bucketed by cell *word* (so the
+    // refresh scan can jump from a changed word straight to its owners)
+    // with the exact bit-in-word packed into each entry (so only true
+    // owners of a *changed bit* are marked — expected n·k/m rows per
+    // flip, independent of word sharing).
+    const size_t num_words = (m + 63) / 64;
+    bucket_offsets_.assign(num_words + 1, 0);
+    for (uint32_t cell : cells_) ++bucket_offsets_[(cell >> 6) + 1];
+    for (size_t w = 0; w < num_words; ++w) {
+      bucket_offsets_[w + 1] += bucket_offsets_[w];
+    }
+    bucket_entries_.resize(cells_.size());
+    std::vector<uint32_t> cursor(bucket_offsets_.begin(),
+                                 bucket_offsets_.end() - 1);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t* row_cells = cells_.data() + i * static_cast<size_t>(k);
+      for (uint32_t j = 0; j < k; ++j) {
+        const uint32_t cell = row_cells[j];
+        bucket_entries_[cursor[cell >> 6]++] =
+            (static_cast<uint32_t>(i) << 6) | (cell & 63);
+      }
+    }
+    snapshot_words_ = sketch_->array().words();
+    sketch_->ClearDirtyUsers();
+  }
+  beta_ = sketch_->beta();
+  log_beta_term_ = estimator_.LogBetaTerm(beta_);
+}
+
+void SimilarityIndex::RefreshDirty() {
+  VOS_CHECK(query_options_.incremental)
+      << "RefreshDirty needs QueryOptions::incremental";
+  VOS_CHECK(snapshot_words_.size() == sketch_->array().words().size())
+      << "RefreshDirty before the first incremental Rebuild";
+  const size_t n = candidates_.size();
+  const uint32_t k = sketch_->config().k;
+
+  // Affected candidates = dirty users (covers cardinality changes — those
+  // never show in the array delta) ∪ owners of any cell whose bit changed
+  // (covers every possible digest change, including shared-cell flips
+  // from other users' updates). Each changed word's XOR mask is tested
+  // against the exact bit recorded in the bucket entry, and the snapshot
+  // word is re-synced in place — scanned-but-unchanged words cost one
+  // compare, changed words are never re-scanned on the next refresh.
+  std::vector<uint8_t> affected(n, 0);
+  if (!sketch_->dirty_users().empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (sketch_->IsDirty(candidates_[i])) affected[i] = 1;
+    }
+  }
+  const std::vector<uint64_t>& live_words = sketch_->array().words();
+  for (size_t w = 0; w < live_words.size(); ++w) {
+    const uint64_t mask = live_words[w] ^ snapshot_words_[w];
+    if (mask == 0) continue;
+    for (size_t idx = bucket_offsets_[w]; idx < bucket_offsets_[w + 1];
+         ++idx) {
+      const uint32_t entry = bucket_entries_[idx];
+      if ((mask >> (entry & 63)) & 1) affected[entry >> 6] = 1;
+    }
+    snapshot_words_[w] = live_words[w];
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (affected[i]) cardinalities_[i] = sketch_->Cardinality(candidates_[i]);
+  }
+  const std::vector<uint32_t> old_row_of_orig = row_of_orig_;
+  SortRowsAndMaps();
+
+  // New matrix in the new sorted order: clean rows are block-copied from
+  // their old position (bit-identical — none of their cells changed),
+  // affected rows re-read from captured cells (k lookups, no hashing).
+  DigestMatrix next(k, n);
+  const size_t words = next.words_per_row();
+  const BitVector& array = sketch_->array();
+  const size_t block = 64;
+  const size_t num_blocks = (n + block - 1) / block;
+  const unsigned threads =
+      ResolveThreadCount(query_options_.num_threads, num_blocks);
+  RunBlocks(threads, num_blocks, [&](size_t b) {
+    const size_t end = std::min(n, (b + 1) * block);
+    for (size_t p = b * block; p < end; ++p) {
+      const uint32_t i = sorted_rows_[p];
+      if (affected[i]) {
+        DigestMatrix::ExtractRowFromCells(
+            array, cells_.data() + static_cast<size_t>(i) * k, k,
+            next.MutableRow(p));
+      } else {
+        std::memcpy(next.MutableRow(p), matrix_.Row(old_row_of_orig[i]),
+                    words * sizeof(uint64_t));
+      }
+    }
+  });
+  matrix_ = std::move(next);
+  sketch_->ClearDirtyUsers();
   beta_ = sketch_->beta();
   log_beta_term_ = estimator_.LogBetaTerm(beta_);
 }

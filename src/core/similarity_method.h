@@ -41,6 +41,21 @@ class SimilarityMethod {
   /// Processes one stream element (u, i, ±).
   virtual void Update(const Element& e) = 0;
 
+  /// Processes a contiguous batch of elements, in order. The default
+  /// simply loops Update(); methods with a batched/concurrent ingest path
+  /// (VOS-sharded) override it to amortize routing and hand whole batches
+  /// to their workers. Semantics are identical to the element loop — the
+  /// harness may use either interchangeably.
+  virtual void UpdateBatch(const Element* elements, size_t count) {
+    for (size_t i = 0; i < count; ++i) Update(elements[i]);
+  }
+
+  /// Blocks until every element previously passed to Update/UpdateBatch
+  /// is reflected in the sketch state. No-op for synchronous methods; the
+  /// harness calls it before evaluating a checkpoint so asynchronous
+  /// ingest pipelines quiesce first.
+  virtual void FlushIngest() {}
+
   /// Estimates (ŝ_uv, Ĵ_uv) for the pair at the current time.
   virtual PairEstimate EstimatePair(UserId u, UserId v) const = 0;
 

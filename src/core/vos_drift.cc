@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/popcount.h"
+#include "core/digest_matrix.h"
+
 namespace vos::core {
 
 VosDrift::VosDrift(const VosSketch& before, const VosSketch& after,
@@ -17,12 +20,8 @@ VosDrift::VosDrift(const VosSketch& before, const VosSketch& after,
   delta_beta_ = delta_array_.FractionOnes();
 }
 
-double VosDrift::EstimateDrift(UserId u) const {
+double VosDrift::DriftFromOnes(uint32_t ones) const {
   const uint32_t k = after_->config().k;
-  uint32_t ones = 0;
-  for (uint32_t j = 0; j < k; ++j) {
-    ones += delta_array_.Get(after_->CellOf(u, j));
-  }
   const double alpha = static_cast<double>(ones) / k;
   // Single-digest contamination model: a reconstructed bit of the delta
   // odd sketch is flipped with probability β_Δ, so
@@ -36,16 +35,56 @@ double VosDrift::EstimateDrift(UserId u) const {
   return std::max(0.0, -0.5 * k * (log_alpha - log_beta));
 }
 
-double VosDrift::EstimateStability(UserId u) const {
+double VosDrift::EstimateDrift(UserId u) const {
+  const uint32_t k = after_->config().k;
+  uint32_t ones = 0;
+  for (uint32_t j = 0; j < k; ++j) {
+    ones += delta_array_.Get(after_->CellOf(u, j));
+  }
+  return DriftFromOnes(ones);
+}
+
+double VosDrift::StabilityFromDrift(UserId u, double drift) const {
   const double n1 = before_->Cardinality(u);
   const double n2 = after_->Cardinality(u);
   if (n1 + n2 == 0.0) return 1.0;  // empty before and after: unchanged
-  const double drift = EstimateDrift(u);
   double s = 0.5 * (n1 + n2 - drift);
   if (estimator_.options().clamp_to_feasible) {
     s = std::clamp(s, 0.0, std::min(n1, n2));
   }
   return estimator_.JaccardFromCommon(s, n1, n2);
+}
+
+double VosDrift::EstimateStability(UserId u) const {
+  const double n1 = before_->Cardinality(u);
+  const double n2 = after_->Cardinality(u);
+  if (n1 + n2 == 0.0) return 1.0;
+  return StabilityFromDrift(u, EstimateDrift(u));
+}
+
+std::vector<double> VosDrift::EstimateDriftBatch(
+    const std::vector<UserId>& users, unsigned num_threads) const {
+  // One contiguous extraction pass over the delta array (the rows ARE the
+  // users' reconstructed delta odd sketches), then a word-wise popcount
+  // per row — same integers as the scalar per-bit loop.
+  const DigestMatrix matrix =
+      DigestMatrix::BuildFromArray(delta_array_, *after_, users, num_threads);
+  std::vector<double> drifts(users.size());
+  const size_t words = matrix.words_per_row();
+  for (size_t i = 0; i < users.size(); ++i) {
+    drifts[i] = DriftFromOnes(
+        static_cast<uint32_t>(PopcountWords(matrix.Row(i), words)));
+  }
+  return drifts;
+}
+
+std::vector<double> VosDrift::EstimateStabilityBatch(
+    const std::vector<UserId>& users, unsigned num_threads) const {
+  std::vector<double> stabilities = EstimateDriftBatch(users, num_threads);
+  for (size_t i = 0; i < users.size(); ++i) {
+    stabilities[i] = StabilityFromDrift(users[i], stabilities[i]);
+  }
+  return stabilities;
 }
 
 }  // namespace vos::core

@@ -20,6 +20,8 @@
 
 #pragma once
 
+#include <vector>
+
 #include "common/bit_vector.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
@@ -43,11 +45,28 @@ class VosDrift {
   /// J = s/(n1+n2−s) with s = (n1+n2−drift)/2; 1.0 means unchanged.
   double EstimateStability(UserId u) const;
 
+  /// EstimateDrift for every user in `users`, batch-extracted through a
+  /// DigestMatrix over the delta array (thread-parallel, contiguous rows,
+  /// word-wise popcounts — the churn-dashboard path that was previously
+  /// one heap BitVector per user). Results are bit-identical to the
+  /// per-user EstimateDrift calls.
+  std::vector<double> EstimateDriftBatch(const std::vector<UserId>& users,
+                                         unsigned num_threads = 0) const;
+
+  /// EstimateStability for every user in `users` (see EstimateDriftBatch).
+  std::vector<double> EstimateStabilityBatch(
+      const std::vector<UserId>& users, unsigned num_threads = 0) const;
+
   /// β_Δ — the fill of the XOR-ed array (diagnostic; estimates degrade as
   /// it approaches ½).
   double delta_beta() const { return delta_beta_; }
 
  private:
+  /// n̂Δ from the count of 1s among the user's k reconstructed delta bits
+  /// (the shared core of the scalar and batch paths).
+  double DriftFromOnes(uint32_t ones) const;
+  double StabilityFromDrift(UserId u, double drift) const;
+
   const VosSketch* after_;  // geometry source for CellOf
   VosEstimator estimator_;
   const VosSketch* before_;

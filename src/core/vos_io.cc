@@ -41,6 +41,9 @@ Status VosSketchIo::Save(const VosSketch& sketch, const std::string& path) {
   WritePod(out, sketch.config_.m);
   WritePod(out, sketch.config_.seed);
   WritePod(out, static_cast<uint8_t>(sketch.config_.psi_kind));
+  // The *resolved* f seed, so sketches built with a per-shard override
+  // (VosConfig::f_seed) restore to the identical f family.
+  WritePod(out, sketch.f_seed_);
   WritePod(out, static_cast<uint32_t>(sketch.cardinality_.size()));
   const std::vector<uint64_t>& words = sketch.array_.words();
   WritePod(out, static_cast<uint64_t>(words.size()));
@@ -77,7 +80,8 @@ StatusOr<VosSketch> VosSketchIo::Load(const std::string& path) {
   uint64_t num_words = 0;
   if (!ReadPod(in, &config.k) || !ReadPod(in, &config.m) ||
       !ReadPod(in, &config.seed) || !ReadPod(in, &psi_kind) ||
-      !ReadPod(in, &num_users) || !ReadPod(in, &num_words)) {
+      !ReadPod(in, &config.f_seed) || !ReadPod(in, &num_users) ||
+      !ReadPod(in, &num_words)) {
     return Status::Corruption(path + ": truncated header");
   }
   if (psi_kind > static_cast<uint8_t>(PsiKind::kTabulation)) {

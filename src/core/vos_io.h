@@ -4,7 +4,8 @@
 //
 // Format (little-endian, versioned):
 //   magic "VOSSKTCH" | u32 version | u32 k | u64 m | u64 seed
-//   | u32 num_users | u64 num_array_words | array words
+//   | u8 psi_kind | u64 f_seed (v2: resolved f-family seed; see
+//   VosConfig::f_seed) | u32 num_users | u64 num_array_words | array words
 //   | cardinalities (u32 × num_users) | u64 xor-checksum
 //
 // The checksum covers the payload words and catches truncation and
@@ -31,7 +32,7 @@ class VosSketchIo {
   static StatusOr<VosSketch> Load(const std::string& path);
 
   static constexpr char kMagic[9] = "VOSSKTCH";
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;
 };
 
 }  // namespace vos::core

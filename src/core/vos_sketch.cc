@@ -1,13 +1,17 @@
 #include "core/vos_sketch.h"
 
+#include <algorithm>
+
 namespace vos::core {
 
 VosSketch::VosSketch(const VosConfig& config, UserId num_users)
     : config_(config),
       psi_seed_(hash::DeriveSeed(config.seed, 0x9a11)),
-      f_seed_(hash::DeriveSeed(config.seed, 0xf00d)),
+      f_seed_(config.f_seed != 0 ? config.f_seed
+                                 : hash::DeriveSeed(config.seed, 0xf00d)),
       array_(config.m),
-      cardinality_(num_users, 0) {
+      cardinality_(num_users, 0),
+      dirty_epoch_(config.track_dirty ? num_users : 0, 0) {
   VOS_CHECK(config.k >= 1) << "virtual sketch needs at least one bit";
   VOS_CHECK(config.m >= 1) << "shared array must be non-empty";
   {
@@ -35,7 +39,20 @@ void VosSketch::MergeFrom(const VosSketch& other) {
       << "merging incompatible VOS sketches (config/user-count mismatch)";
   array_.XorWith(other.array_);
   for (size_t u = 0; u < cardinality_.size(); ++u) {
-    cardinality_[u] += other.cardinality_[u];
+    if (other.cardinality_[u] != 0) {
+      cardinality_[u] += other.cardinality_[u];
+      MarkDirty(static_cast<UserId>(u));
+    }
+  }
+}
+
+void VosSketch::ClearDirtyUsers() const {
+  dirty_users_.clear();
+  if (++dirty_current_epoch_ == 0) {
+    // uint32 epoch wrapped: reset the per-user epochs so stale entries
+    // from 2^32 snapshots ago cannot alias the fresh epoch.
+    std::fill(dirty_epoch_.begin(), dirty_epoch_.end(), 0u);
+    dirty_current_epoch_ = 1;
   }
 }
 

@@ -63,6 +63,18 @@ struct VosConfig {
   uint64_t seed = 42;
   /// Hash family for ψ (see PsiKind).
   PsiKind psi_kind = PsiKind::kMixer;
+  /// Optional override for the f-family master seed (0 = derive from
+  /// `seed` as usual). Sharded deployments (core/sharded_vos_sketch.h)
+  /// give each shard its own f family while sharing `seed` — and hence ψ —
+  /// so digests extracted from different shards remain XOR-comparable
+  /// (common items still cancel) while the shards' cell maps stay
+  /// independent.
+  uint64_t f_seed = 0;
+  /// Maintain the per-user dirty set (see dirty_users()). Costs one extra
+  /// epoch load+compare per Update; turn off for sketches that will never
+  /// be consumed incrementally (the harness does, so the Figure-2 update
+  /// measurement stays at the paper's bare O(1) cost).
+  bool track_dirty = true;
 };
 
 /// The VOS sketch: shared array + per-user cardinality counters.
@@ -72,7 +84,9 @@ class VosSketch {
   VosSketch(const VosConfig& config, UserId num_users);
 
   /// Processes one stream element in O(1): flips A[f_ψ(i)(u)] and adjusts
-  /// n_u by ±1.
+  /// n_u by ±1. Under VosConfig::track_dirty it also marks the user dirty
+  /// (see dirty_users()) in O(1) amortized — one epoch compare, plus a
+  /// push the first time a user is touched after a snapshot.
   void Update(const Element& e) {
     array_.Flip(CellOf(e.user, BucketOf(e.item)));
     if (e.action == Action::kInsert) {
@@ -81,6 +95,7 @@ class VosSketch {
       VOS_DCHECK(cardinality_[e.user] > 0) << "deletion below zero" << e;
       --cardinality_[e.user];
     }
+    MarkDirty(e.user);
   }
 
   /// ψ(item) ∈ [0, k) — which virtual bit of its user an item toggles.
@@ -161,11 +176,64 @@ class VosSketch {
     return config_.k == other.config_.k && config_.m == other.config_.m &&
            config_.seed == other.config_.seed &&
            config_.psi_kind == other.config_.psi_kind &&
+           f_seed_ == other.f_seed_ &&
            cardinality_.size() == other.cardinality_.size();
   }
 
+  // --- Dirty tracking (incremental index maintenance) -------------------
+  //
+  // The sketch records which users received updates since the last
+  // ClearDirtyUsers(), so a snapshot consumer (SimilarityIndex) can
+  // refresh only the rows that may have changed instead of re-extracting
+  // every candidate. Maintenance is O(1) amortized per Update: an epoch
+  // compare, plus one push_back the first time a user is touched in the
+  // current epoch.
+  //
+  // Contract: the dirty set covers *which users were updated* — because
+  // array cells are shared, an update for user v can still flip a bit of
+  // a clean user u's reconstructed digest. Incremental consumers must
+  // therefore pair the dirty set with an array-delta check (see
+  // SimilarityIndex::RefreshDirty); the dirty set alone is exact for
+  // cardinality changes, which never appear in the array delta.
+  //
+  // Thread-safety: Update/MarkDirty follow the sketch's single-writer
+  // model. ClearDirtyUsers is logically const (snapshot-consumer
+  // bookkeeping over mutable members) and must not race with Update;
+  // with multiple consumers of one sketch, only one may clear.
+
+  /// True iff this sketch maintains the dirty set
+  /// (VosConfig::track_dirty).
+  bool tracks_dirty() const { return !dirty_epoch_.empty(); }
+
+  /// Users touched by Update() since the last ClearDirtyUsers(),
+  /// deduplicated, in first-touch order; MergeFrom additionally marks
+  /// users whose merged cardinality changed (a merge CAN flip a user's
+  /// array bits without a net cardinality change — such users are not
+  /// listed here, by design: digest-level changes are only detectable
+  /// via an array delta, which is exactly how RefreshDirty pairs with
+  /// this set). Always empty when tracking is off.
+  const std::vector<UserId>& dirty_users() const { return dirty_users_; }
+
+  /// True iff `user` is in dirty_users().
+  bool IsDirty(UserId user) const {
+    return tracks_dirty() && dirty_epoch_[user] == dirty_current_epoch_;
+  }
+
+  /// Empties the dirty set (O(1): bumps the epoch). Called by snapshot
+  /// consumers once they have captured the set.
+  void ClearDirtyUsers() const;
+
  private:
   friend class VosSketchIo;  // serialization needs raw state access
+
+  void MarkDirty(UserId user) const {
+    if (dirty_epoch_.empty()) return;  // tracking off
+    uint32_t& epoch = dirty_epoch_[user];
+    if (epoch != dirty_current_epoch_) {
+      epoch = dirty_current_epoch_;
+      dirty_users_.push_back(user);
+    }
+  }
 
   VosConfig config_;
   uint64_t psi_seed_;
@@ -179,6 +247,13 @@ class VosSketch {
   std::shared_ptr<const std::vector<uint64_t>> f_seeds_;
   BitVector array_;
   std::vector<uint32_t> cardinality_;
+  // Dirty-set state (see the contract above). dirty_epoch_[u] equals
+  // dirty_current_epoch_ iff u is dirty; clearing bumps the epoch instead
+  // of touching the per-user array. Mutable: the set is snapshot-consumer
+  // bookkeeping, not sketch state — a cleared sketch is the same sketch.
+  mutable std::vector<uint32_t> dirty_epoch_;
+  mutable std::vector<UserId> dirty_users_;
+  mutable uint32_t dirty_current_epoch_ = 1;
 };
 
 }  // namespace vos::core

@@ -43,7 +43,12 @@ struct ExperimentConfig {
   /// (SimilarityMethod::SetQueryThreads; 0 = hardware concurrency).
   /// Metrics are bit-identical for every value.
   unsigned query_threads = 0;
-  /// Method sizing (base_k, λ, seeds, clamping).
+  /// Method sizing (base_k, λ, seeds, clamping) and ingest knobs
+  /// (vos_shards, ingest_threads, ingest_batch — the latter also sets
+  /// the replay batch size for both experiment entry points; metrics are
+  /// identical for every value, since the default UpdateBatch is the
+  /// element loop and batched methods quiesce via FlushIngest before
+  /// each checkpoint).
   MethodFactoryConfig factory;
 };
 
@@ -86,7 +91,12 @@ StatusOr<ExperimentResult> RunAccuracyExperiment(
     const ExperimentConfig& config);
 
 /// Replays `stream` through one freshly created method and returns seconds
-/// of wall-clock update time (no queries on the path). Backs Figure 2.
+/// of wall-clock update time (no queries on the path). Ingestion runs in
+/// factory.ingest_batch-sized UpdateBatch calls with a FlushIngest inside
+/// the timed region, so "VOS-sharded" is measured end-to-end — routing,
+/// queues and shard workers included — under the factory's
+/// vos_shards/ingest_threads knobs. Backs Figure 2 in both serial and
+/// sharded configurations.
 StatusOr<double> MeasureUpdateRuntime(const stream::GraphStream& stream,
                                       const std::string& method_name,
                                       const MethodFactoryConfig& factory);

@@ -1,10 +1,13 @@
 #include "harness/method_factory.h"
 
+#include <algorithm>
+
 #include "baselines/bbit_minwise.h"
 #include "baselines/hll_union.h"
 #include "baselines/minhash.h"
 #include "baselines/oph.h"
 #include "baselines/random_pairing.h"
+#include "core/sharded_vos_method.h"
 #include "core/vos_method.h"
 #include "hashing/hash64.h"
 #include "hashing/seeds.h"
@@ -44,10 +47,30 @@ StatusOr<std::unique_ptr<core::SimilarityMethod>> CreateMethod(
     vos.k = budget.VosVirtualK(config.lambda);
     vos.m = budget.VosArrayBits();
     vos.seed = SeedFor(config, name);
+    // Harness methods are never consumed incrementally; keep the paper's
+    // bare O(1) update on the Figure-2 measurement path.
+    vos.track_dirty = false;
     core::VosEstimatorOptions options;
     options.clamp_to_feasible = config.clamp;
     return std::unique_ptr<core::SimilarityMethod>(
         std::make_unique<core::VosMethod>(vos, num_users, options));
+  }
+  if (name == "VOS-sharded") {
+    core::ShardedVosConfig sharded;
+    sharded.base.k = budget.VosVirtualK(config.lambda);
+    sharded.base.m = budget.VosArrayBits();  // total across shards
+    // Same seed as "VOS" so a 1-shard sharded method is the identical
+    // sketch (ShardedVosSketch::ShardConfig keeps the base config then).
+    sharded.base.seed = SeedFor(config, "VOS");
+    sharded.base.track_dirty = false;  // as for "VOS": bare update path
+    sharded.num_shards = std::max<uint32_t>(1, config.vos_shards);
+    sharded.ingest_threads = config.ingest_threads;
+    sharded.batch_size = std::max<size_t>(1, config.ingest_batch);
+    core::VosEstimatorOptions options;
+    options.clamp_to_feasible = config.clamp;
+    return std::unique_ptr<core::SimilarityMethod>(
+        std::make_unique<core::ShardedVosMethod>(sharded, num_users,
+                                                 options));
   }
   if (name == "MinHash") {
     baseline::MinHashConfig mh;
@@ -119,8 +142,8 @@ std::vector<std::string> PaperMethods() {
 }
 
 std::vector<std::string> AllMethods() {
-  return {"MinHash",   "OPH",   "OPH+rot",   "OPH+rand", "OPH+opt",
-          "RP",        "OddSketch", "b-bit", "HLL-union", "VOS"};
+  return {"MinHash", "OPH",   "OPH+rot",   "OPH+rand", "OPH+opt",    "RP",
+          "OddSketch", "b-bit", "HLL-union", "VOS",      "VOS-sharded"};
 }
 
 }  // namespace vos::harness

@@ -32,11 +32,22 @@ struct MethodFactoryConfig {
   uint64_t seed = 99;
   /// Apply feasible-range clamping to all estimates (DESIGN.md §5.3).
   bool clamp = true;
+  /// Shard count for "VOS-sharded" (total memory budget is split across
+  /// shards, so the comparison with "VOS" is equal-memory). Ignored by
+  /// every other method.
+  uint32_t vos_shards = 4;
+  /// Ingest worker threads for "VOS-sharded": 0 = synchronous routing
+  /// (deterministic, no worker threads), ≥1 spawns min(threads, shards)
+  /// shard workers fed from bounded batch queues.
+  unsigned ingest_threads = 0;
+  /// Elements per auto-enqueued ingest batch for "VOS-sharded"'s
+  /// per-element Update path.
+  size_t ingest_batch = 4096;
 };
 
-/// Recognized names: "VOS", "MinHash", "OPH", "OPH+rot", "OPH+rand",
-/// "OPH+opt", "RP", "OddSketch", "b-bit". Returns InvalidArgument for
-/// anything else.
+/// Recognized names: "VOS", "VOS-sharded", "MinHash", "OPH", "OPH+rot",
+/// "OPH+rand", "OPH+opt", "RP", "OddSketch", "b-bit". Returns
+/// InvalidArgument for anything else.
 StatusOr<std::unique_ptr<core::SimilarityMethod>> CreateMethod(
     const std::string& name, const MethodFactoryConfig& config);
 

@@ -18,6 +18,26 @@ std::vector<size_t> StreamReplayer::CheckpointPositions(size_t stream_size,
   return positions;
 }
 
+void StreamReplayer::ReplayBatched(
+    const GraphStream& stream, size_t num_checkpoints, size_t batch_size,
+    const std::function<void(const Element*, size_t)>& on_batch,
+    const std::function<void(size_t)>& on_checkpoint) {
+  const std::vector<size_t> checkpoints =
+      CheckpointPositions(stream.size(), num_checkpoints);
+  const Element* elements = stream.elements().data();
+  size_t t = 0;
+  for (size_t checkpoint : checkpoints) {
+    while (t < checkpoint) {
+      const size_t count = batch_size == 0
+                               ? checkpoint - t
+                               : std::min(batch_size, checkpoint - t);
+      if (on_batch) on_batch(elements + t, count);
+      t += count;
+    }
+    if (on_checkpoint) on_checkpoint(t);
+  }
+}
+
 void StreamReplayer::Replay(
     const GraphStream& stream, size_t num_checkpoints,
     const std::function<void(const Element&)>& on_element,

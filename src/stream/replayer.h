@@ -33,6 +33,19 @@ class StreamReplayer {
       const GraphStream& stream, size_t num_checkpoints,
       const std::function<void(const Element&)>& on_element,
       const std::function<void(size_t t)>& on_checkpoint);
+
+  /// Batched replay: invokes `on_batch(first, count)` over contiguous
+  /// sub-ranges of the stream, at most `batch_size` elements each
+  /// (batch_size 0 means one maximal batch per checkpoint segment).
+  /// Batches never straddle a checkpoint, so every `on_checkpoint(t)`
+  /// observes exactly the first t elements applied — the same
+  /// element-order and checkpoint semantics as Replay, delivered in
+  /// consumer-sized chunks for the batched ingest path
+  /// (SimilarityMethod::UpdateBatch, core/sharded_vos_sketch.h).
+  static void ReplayBatched(
+      const GraphStream& stream, size_t num_checkpoints, size_t batch_size,
+      const std::function<void(const Element* first, size_t count)>& on_batch,
+      const std::function<void(size_t t)>& on_checkpoint);
 };
 
 }  // namespace vos::stream

@@ -1,0 +1,21 @@
+#include "stream/shard_router.h"
+
+namespace vos::stream {
+
+void ShardRouter::Tag(const Element* elements, size_t count,
+                      uint16_t* tags) const {
+  for (size_t i = 0; i < count; ++i) {
+    tags[i] = static_cast<uint16_t>(ShardOf(elements[i].user));
+  }
+}
+
+void ShardRouter::Partition(const Element* elements, size_t count,
+                            std::vector<std::vector<Element>>* per_shard) const {
+  VOS_CHECK(per_shard->size() == num_shards_)
+      << "per_shard must have one bucket per shard";
+  for (size_t i = 0; i < count; ++i) {
+    (*per_shard)[ShardOf(elements[i].user)].push_back(elements[i]);
+  }
+}
+
+}  // namespace vos::stream

@@ -1,0 +1,76 @@
+// ShardRouter: deterministic user → shard partitioning for sharded
+// ingestion.
+//
+// A fully dynamic graph stream shards naturally by *user*: every element
+// (u, i, ±) touches only user u's state, so routing by hash(u) % S gives S
+// sub-streams that never share a user. Two consequences make this the
+// right partition key (and not, say, the item or the raw element index):
+//
+//   * Locality — each shard's sub-stream is feasible on its own (a user's
+//     deletions follow their insertions within one shard), so a shard can
+//     be replayed, checkpointed or re-ingested independently.
+//   * Query routing — every user lives in exactly one known shard, so
+//     both endpoints of any pair query (u, v) are found by two ShardOf
+//     calls; no pair ever needs cross-shard state reconciliation beyond
+//     reading two digests (see core/sharded_vos_sketch.h).
+//
+// Routing is a seeded multiplicative hash, not `u % S`: dense user ids
+// would otherwise stripe pathologically (e.g. all even users on shard 0
+// for S = 2 after a generator that interleaves). The router is
+// deterministic in (seed, num_shards) — ingest and query sides construct
+// equal routers from the same sketch config and always agree.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "hashing/hash64.h"
+#include "stream/element.h"
+
+namespace vos::stream {
+
+/// Stateless user → shard map, plus batch partition/tag helpers.
+class ShardRouter {
+ public:
+  /// `num_shards` ≥ 1; `seed` selects the hash (ingest and query sides
+  /// must agree on both).
+  explicit ShardRouter(uint32_t num_shards, uint64_t seed = 0)
+      : num_shards_(num_shards), seed_(seed) {
+    VOS_CHECK(num_shards >= 1) << "need at least one shard";
+    VOS_CHECK(num_shards <= 0xffff) << "shard ids are tagged as uint16";
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t seed() const { return seed_; }
+
+  /// hash(user) % num_shards — the shard owning all of `user`'s state.
+  /// One Mix64 + one multiply; cheap enough for the per-element ingest
+  /// path.
+  uint32_t ShardOf(UserId user) const {
+    return static_cast<uint32_t>(hash::ReduceToRange(
+        hash::Mix64(user ^ (seed_ * 0x9e3779b97f4a7c15ULL)), num_shards_));
+  }
+
+  /// Writes ShardOf(elements[i].user) into tags[0..count). Tags let a
+  /// batch be shared read-only across shard workers, each applying only
+  /// its own elements (no per-shard copies of the batch).
+  void Tag(const Element* elements, size_t count, uint16_t* tags) const;
+
+  /// Appends each element to per_shard[ShardOf(user)]; per_shard must have
+  /// num_shards() entries (existing content is kept, so callers can
+  /// accumulate across batches).
+  void Partition(const Element* elements, size_t count,
+                 std::vector<std::vector<Element>>* per_shard) const;
+
+  bool operator==(const ShardRouter& other) const {
+    return num_shards_ == other.num_shards_ && seed_ == other.seed_;
+  }
+
+ private:
+  uint32_t num_shards_;
+  uint64_t seed_;
+};
+
+}  // namespace vos::stream

@@ -1,0 +1,339 @@
+// Tests for the sharded ingestion engine: ShardRouter determinism,
+// batched replay equivalence, and — the load-bearing property —
+// ShardedVosSketch producing exactly the state of S independent
+// VosSketches fed the routed sub-streams, for every shard count, thread
+// count and pipeline mode.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/sharded_vos_method.h"
+#include "core/sharded_vos_sketch.h"
+#include "core/vos_method.h"
+#include "core/vos_sketch.h"
+#include "exact/exact_store.h"
+#include "stream/graph_stream.h"
+#include "stream/replayer.h"
+#include "stream/shard_router.h"
+
+namespace vos::core {
+namespace {
+
+using stream::Action;
+using stream::Element;
+using stream::GraphStream;
+using stream::ItemId;
+using stream::ShardRouter;
+using stream::StreamReplayer;
+using stream::UserId;
+
+/// A feasible fully dynamic stream: inserts with interleaved deletions of
+/// previously inserted edges (per user, delete follows its insert).
+std::vector<Element> DynamicStream(UserId users, size_t elements_target,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Element> elements;
+  elements.reserve(elements_target + elements_target / 4);
+  size_t t = 0;
+  while (elements.size() < elements_target) {
+    const UserId user =
+        static_cast<UserId>(rng.NextBounded(users));
+    const ItemId item = static_cast<ItemId>(t++);
+    elements.push_back({user, item, Action::kInsert});
+    if (rng.NextBernoulli(0.25)) {
+      elements.push_back({user, item, Action::kDelete});
+    }
+  }
+  return elements;
+}
+
+ShardedVosConfig TestConfig(uint32_t shards, unsigned threads,
+                            uint32_t k = 512, uint64_t m = 1 << 16) {
+  ShardedVosConfig config;
+  config.base.k = k;
+  config.base.m = m;
+  config.base.seed = 77;
+  config.num_shards = shards;
+  config.ingest_threads = threads;
+  config.batch_size = 64;  // small so the pipeline exercises many batches
+  config.queue_capacity = 4;  // exercise back-pressure
+  return config;
+}
+
+// ------------------------------------------------------------ ShardRouter
+
+TEST(ShardRouterTest, DeterministicAndComplete) {
+  const ShardRouter router(4, 99);
+  const ShardRouter twin(4, 99);
+  std::vector<size_t> per_shard(4, 0);
+  for (UserId u = 0; u < 10000; ++u) {
+    const uint32_t s = router.ShardOf(u);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, twin.ShardOf(u));
+    ++per_shard[s];
+  }
+  // Hash routing spreads dense user ids roughly evenly (no striping).
+  for (size_t count : per_shard) {
+    EXPECT_GT(count, 2000u);
+    EXPECT_LT(count, 3000u);
+  }
+}
+
+TEST(ShardRouterTest, PartitionAndTagAgreeWithShardOf) {
+  const ShardRouter router(3, 7);
+  const std::vector<Element> elements = DynamicStream(50, 500, 3);
+  std::vector<uint16_t> tags(elements.size());
+  router.Tag(elements.data(), elements.size(), tags.data());
+  std::vector<std::vector<Element>> per_shard(3);
+  router.Partition(elements.data(), elements.size(), &per_shard);
+  size_t total = 0;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    EXPECT_EQ(tags[i], router.ShardOf(elements[i].user));
+  }
+  for (uint32_t s = 0; s < 3; ++s) {
+    total += per_shard[s].size();
+    for (const Element& e : per_shard[s]) {
+      EXPECT_EQ(router.ShardOf(e.user), s);
+    }
+  }
+  EXPECT_EQ(total, elements.size());
+}
+
+// ---------------------------------------------------------- ReplayBatched
+
+TEST(ReplayBatchedTest, SameElementsAndCheckpointsAsReplay) {
+  GraphStream stream("test", 30, 1 << 20);
+  for (const Element& e : DynamicStream(30, 157, 11)) stream.Append(e);
+
+  for (size_t batch_size : {0u, 1u, 7u, 64u, 1000u}) {
+    std::vector<Element> serial_elements, batched_elements;
+    std::vector<size_t> serial_checkpoints, batched_checkpoints;
+    StreamReplayer::Replay(
+        stream, 5, [&](const Element& e) { serial_elements.push_back(e); },
+        [&](size_t t) { serial_checkpoints.push_back(t); });
+    size_t applied = 0;
+    StreamReplayer::ReplayBatched(
+        stream, 5, batch_size,
+        [&](const Element* first, size_t count) {
+          if (batch_size > 0) {
+            EXPECT_LE(count, batch_size);
+          }
+          batched_elements.insert(batched_elements.end(), first,
+                                  first + count);
+          applied += count;
+        },
+        [&](size_t t) {
+          // A checkpoint sees exactly the first t elements applied.
+          EXPECT_EQ(applied, t);
+          batched_checkpoints.push_back(t);
+        });
+    EXPECT_EQ(batched_elements, serial_elements) << "batch=" << batch_size;
+    EXPECT_EQ(batched_checkpoints, serial_checkpoints)
+        << "batch=" << batch_size;
+  }
+}
+
+// ------------------------------------------------------- ShardedVosSketch
+
+TEST(ShardedVosSketchTest, OneShardConfigEqualsBase) {
+  const ShardedVosConfig config = TestConfig(1, 0);
+  const VosConfig shard = ShardedVosSketch::ShardConfig(config, 0);
+  EXPECT_EQ(shard.m, config.base.m);
+  EXPECT_EQ(shard.seed, config.base.seed);
+  EXPECT_EQ(shard.f_seed, config.base.f_seed);
+}
+
+TEST(ShardedVosSketchTest, OneShardMatchesPlainVosSketchBitForBit) {
+  const std::vector<Element> elements = DynamicStream(40, 2000, 21);
+  const ShardedVosConfig config = TestConfig(1, 0);
+  VosSketch plain(config.base, 40);
+  ShardedVosSketch sharded(config, 40);
+  for (const Element& e : elements) {
+    plain.Update(e);
+    sharded.Update(e);
+  }
+  EXPECT_TRUE(sharded.shard(0).array() == plain.array());
+  for (UserId u = 0; u < 40; ++u) {
+    EXPECT_EQ(sharded.Cardinality(u), plain.Cardinality(u));
+  }
+}
+
+/// The tentpole equivalence: for every shard count, each shard's state is
+/// bit-identical to a standalone VosSketch (same ShardConfig) fed only
+/// the routed sub-stream — and therefore same-shard pair estimates equal
+/// the standalone estimates exactly.
+TEST(ShardedVosSketchTest, ShardsMatchIndependentSketchesOnRoutedSubstreams) {
+  const UserId users = 60;
+  const std::vector<Element> elements = DynamicStream(users, 4000, 33);
+  for (uint32_t shards : {1u, 2u, 3u, 4u}) {
+    const ShardedVosConfig config = TestConfig(shards, 0);
+    ShardedVosSketch sharded(config, users);
+    sharded.UpdateBatch(elements.data(), elements.size());
+
+    // Independent references: one standalone sketch per shard, fed the
+    // routed sub-stream.
+    std::vector<VosSketch> references;
+    for (uint32_t s = 0; s < shards; ++s) {
+      references.emplace_back(ShardedVosSketch::ShardConfig(config, s),
+                              users);
+    }
+    for (const Element& e : elements) {
+      references[sharded.ShardOf(e.user)].Update(e);
+    }
+    for (uint32_t s = 0; s < shards; ++s) {
+      EXPECT_TRUE(sharded.shard(s).array() == references[s].array())
+          << "shards=" << shards << " shard=" << s;
+      for (UserId u = 0; u < users; ++u) {
+        EXPECT_EQ(sharded.shard(s).Cardinality(u),
+                  references[s].Cardinality(u));
+      }
+    }
+
+    // Same-shard pair estimates are bit-identical to the standalone
+    // estimator on the reference sketch.
+    VosEstimator estimator(config.base.k);
+    size_t same_shard_pairs = 0;
+    for (UserId u = 0; u < users; ++u) {
+      for (UserId v = u + 1; v < users; ++v) {
+        if (sharded.ShardOf(u) != sharded.ShardOf(v)) continue;
+        ++same_shard_pairs;
+        const VosSketch& ref = references[sharded.ShardOf(u)];
+        const BitVector du = ref.ExtractUserSketch(u);
+        const BitVector dv = ref.ExtractUserSketch(v);
+        const double alpha =
+            static_cast<double>(du.HammingDistance(dv)) / config.base.k;
+        const PairEstimate expected = estimator.Estimate(
+            ref.Cardinality(u), ref.Cardinality(v), alpha, ref.beta());
+        const PairEstimate actual = sharded.EstimatePair(u, v);
+        EXPECT_EQ(actual.common, expected.common)
+            << "shards=" << shards << " pair=(" << u << "," << v << ")";
+        EXPECT_EQ(actual.jaccard, expected.jaccard);
+      }
+    }
+    EXPECT_GT(same_shard_pairs, 0u);
+  }
+}
+
+/// The async pipeline must land on exactly the synchronous pipeline's
+/// state for every thread count — in-shard order is preserved through
+/// tagging, shared batches and per-worker queues.
+TEST(ShardedVosSketchTest, AsyncPipelineMatchesSynchronousForAllThreadCounts) {
+  const UserId users = 50;
+  const std::vector<Element> elements = DynamicStream(users, 5000, 55);
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ShardedVosSketch reference(TestConfig(shards, 0), users);
+    reference.UpdateBatch(elements.data(), elements.size());
+    for (unsigned threads : {1u, 2u, 8u}) {
+      ShardedVosSketch sharded(TestConfig(shards, threads), users);
+      // Mix the per-element and batched entry points (order must hold).
+      const size_t split = elements.size() / 3;
+      for (size_t t = 0; t < split; ++t) sharded.Update(elements[t]);
+      sharded.UpdateBatch(elements.data() + split, elements.size() - split);
+      sharded.Flush();
+      EXPECT_FALSE(sharded.HasPendingIngest());
+      for (uint32_t s = 0; s < shards; ++s) {
+        EXPECT_TRUE(sharded.shard(s).array() == reference.shard(s).array())
+            << "shards=" << shards << " threads=" << threads
+            << " shard=" << s;
+        for (UserId u = 0; u < users; ++u) {
+          ASSERT_EQ(sharded.shard(s).Cardinality(u),
+                    reference.shard(s).Cardinality(u))
+              << "shards=" << shards << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedVosSketchTest, CrossShardEstimatesTrackExactTruth) {
+  // Two users with a planted 60% overlap, plus background fill. Whatever
+  // shards they land in, the cross-shard estimator should recover the
+  // overlap to sketch accuracy.
+  const UserId users = 40;
+  ShardedVosConfig config = TestConfig(4, 0, /*k=*/4096, /*m=*/1 << 20);
+  ShardedVosSketch sharded(config, users);
+  exact::ExactStore exact(users);
+  const auto apply = [&](const Element& e) {
+    sharded.Update(e);
+    exact.Update(e);
+  };
+  for (uint32_t i = 0; i < 500; ++i) {
+    apply({0, i, Action::kInsert});
+    apply({1, i < 300 ? i : i + 10000, Action::kInsert});
+  }
+  for (UserId u = 2; u < users; ++u) {
+    for (uint32_t i = 0; i < 100; ++i) {
+      apply({u, 20000 + u * 1000 + i, Action::kInsert});
+    }
+  }
+  const double truth = static_cast<double>(exact.CommonItems(0, 1));
+  const PairEstimate estimate = sharded.EstimatePair(0, 1);
+  EXPECT_NEAR(estimate.common, truth, 60.0);  // ±~3σ at k=4096
+}
+
+// ------------------------------------------------------- ShardedVosMethod
+
+TEST(ShardedVosMethodTest, CachedAndUncachedEstimatesAgree) {
+  const UserId users = 30;
+  const std::vector<Element> elements = DynamicStream(users, 3000, 71);
+  ShardedVosConfig config = TestConfig(4, 2);
+  ShardedVosMethod method(config, users);
+  method.UpdateBatch(elements.data(), elements.size());
+  method.FlushIngest();
+
+  std::vector<UserId> tracked;
+  for (UserId u = 0; u < users; u += 2) tracked.push_back(u);
+  // Uncached estimates first (no PrepareQuery yet).
+  std::vector<PairEstimate> uncached;
+  for (size_t i = 0; i < tracked.size(); ++i) {
+    for (size_t j = i + 1; j < tracked.size(); ++j) {
+      uncached.push_back(method.EstimatePair(tracked[i], tracked[j]));
+    }
+  }
+  method.PrepareQuery(tracked);
+  size_t idx = 0;
+  for (size_t i = 0; i < tracked.size(); ++i) {
+    for (size_t j = i + 1; j < tracked.size(); ++j, ++idx) {
+      const PairEstimate cached = method.EstimatePair(tracked[i], tracked[j]);
+      EXPECT_EQ(cached.common, uncached[idx].common)
+          << "pair=(" << tracked[i] << "," << tracked[j] << ")";
+      EXPECT_EQ(cached.jaccard, uncached[idx].jaccard);
+    }
+  }
+  method.InvalidateQueryCache();
+  EXPECT_EQ(method.EstimatePair(tracked[0], tracked[1]).common,
+            uncached[0].common);
+}
+
+// ---------------------------------------------------------- dirty tracking
+
+TEST(DirtyTrackingTest, UpdateMarksOnceAndClearResets) {
+  VosSketch sketch(ShardedVosSketch::ShardConfig(TestConfig(1, 0), 0), 10);
+  EXPECT_TRUE(sketch.dirty_users().empty());
+  sketch.Update({3, 100, Action::kInsert});
+  sketch.Update({3, 101, Action::kInsert});
+  sketch.Update({7, 102, Action::kInsert});
+  EXPECT_EQ(sketch.dirty_users(), (std::vector<UserId>{3, 7}));
+  EXPECT_TRUE(sketch.IsDirty(3));
+  EXPECT_FALSE(sketch.IsDirty(4));
+  sketch.ClearDirtyUsers();
+  EXPECT_TRUE(sketch.dirty_users().empty());
+  EXPECT_FALSE(sketch.IsDirty(3));
+  sketch.Update({3, 100, Action::kDelete});
+  EXPECT_EQ(sketch.dirty_users(), (std::vector<UserId>{3}));
+}
+
+TEST(DirtyTrackingTest, MergeFromMarksUsersWithForeignUpdates) {
+  const VosConfig config = ShardedVosSketch::ShardConfig(TestConfig(1, 0), 0);
+  VosSketch a(config, 10), b(config, 10);
+  a.Update({1, 5, Action::kInsert});
+  b.Update({2, 6, Action::kInsert});
+  a.ClearDirtyUsers();
+  a.MergeFrom(b);
+  EXPECT_EQ(a.dirty_users(), (std::vector<UserId>{2}));
+}
+
+}  // namespace
+}  // namespace vos::core
