@@ -12,15 +12,28 @@
 // Hamming bound, and partitions the pair loop across threads. Results are
 // verified bit-identical before any timing is reported.
 //
+// The "planner" phase measures the shard-aware query tier
+// (core/query_planner.h): AllPairsAbove planned as same-shard passes plus
+// cross-shard blocks, scattered over --planner_threads task workers, at
+// S ∈ {1, 4, 8} shards. The S=1 planner IS the single global index
+// scanned by one task — the baseline the shard-scaling speedup column is
+// measured against. Every planner result is verified bit-identical across
+// planner thread counts, and (for --users ≤ 600) identical to the
+// per-pair ShardedVosSketch::EstimatePair reference, before timing is
+// reported.
+//
 // Run: ./build/micro_query_path [--users=2000] [--k=6400] [--threads=8]
-//      [--tau=0.5] [--repeats=3] [--csv=out.csv]
+//      [--tau=0.5] [--repeats=3] [--planner_threads=0] [--csv=out.csv]
 
 #include <algorithm>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/timer.h"
+#include "core/query_planner.h"
+#include "core/sharded_vos_sketch.h"
 #include "core/similarity_index.h"
 #include "core/vos_sketch.h"
 
@@ -29,10 +42,14 @@ namespace {
 
 using core::DigestMatrix;
 using core::QueryOptions;
+using core::QueryPlanner;
+using core::ShardedVosConfig;
+using core::ShardedVosSketch;
 using core::SimilarityIndex;
 using core::VosConfig;
 using core::VosSketch;
 using stream::Action;
+using stream::Element;
 using stream::ItemId;
 using stream::UserId;
 
@@ -43,9 +60,9 @@ using stream::UserId;
 /// heavy-tailed ~1/rank law like real subscription graphs, which is what
 /// the engine's cardinality-sorted sweep exploits; --dist=uniform gives
 /// every user the same size, the prefilter's worst case.
-VosSketch BuildSketch(const VosConfig& config, UserId users,
-                      size_t edges_per_user, bool zipf) {
-  VosSketch sketch(config, users);
+std::vector<Element> BuildElements(UserId users, size_t edges_per_user,
+                                   bool zipf) {
+  std::vector<Element> elements;
   for (UserId u = 0; u < users; ++u) {
     const bool clustered = u % 4 <= 1;
     const uint64_t base =
@@ -58,9 +75,16 @@ VosSketch BuildSketch(const VosConfig& config, UserId users,
       const bool shared = clustered && i < edges * 8 / 10;
       const ItemId item = static_cast<ItemId>(
           shared ? base + i : base + 500000 + (u % 4) * 100000 + i);
-      sketch.Update({u, item, Action::kInsert});
+      elements.push_back({u, item, Action::kInsert});
     }
   }
+  return elements;
+}
+
+VosSketch BuildSketch(const VosConfig& config, UserId users,
+                      const std::vector<Element>& elements) {
+  VosSketch sketch(config, users);
+  for (const Element& e : elements) sketch.Update(e);
   return sketch;
 }
 
@@ -88,6 +112,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "[--users=N] [--edges_per_user=N] [--k=N] [--m=N] [--threads=N] "
       "[--tau=J] [--repeats=N] [--seed=N] [--dist=zipf|uniform] "
+      "[--planner_threads=N] [--planner_shards=N] "
       "[--csv=path] [--json=path]");
   const auto users = static_cast<UserId>(flags.GetInt("users", 2000));
   const auto edges_per_user =
@@ -107,8 +132,9 @@ int main(int argc, char** argv) {
   PrintBanner("micro_query_path — scalar seed path vs. batch query engine",
               flags);
 
-  const VosSketch sketch =
-      BuildSketch(config, users, edges_per_user, dist == "zipf");
+  const std::vector<Element> elements =
+      BuildElements(users, edges_per_user, dist == "zipf");
+  const VosSketch sketch = BuildSketch(config, users, elements);
   std::vector<UserId> candidates;
   for (UserId u = 0; u < users; ++u) candidates.push_back(u);
   const double num_pairs =
@@ -209,6 +235,81 @@ int main(int argc, char** argv) {
          "pairs/s", scalar_pairs / batch_many);
   }
 
+  // ------------------------------------------------------ sharded planner
+  // Shard-scaling of the query tier: AllPairsAbove through QueryPlanner
+  // at S ∈ {1, 4, 8}. The planner parallelizes across tasks (same-shard
+  // passes + cross-shard row blocks); at S=1 there is exactly one task —
+  // the single global index scanned single-threaded — which is the
+  // baseline the speedup column divides by.
+  const auto planner_threads =
+      static_cast<unsigned>(flags.GetInt("planner_threads", 0));
+  const auto max_planner_shards =
+      static_cast<uint32_t>(flags.GetInt("planner_shards", 8));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw < 2) {
+    std::printf("\n(single hardware thread: planner shard-scaling "
+                "degenerates to the cross-shard kernel overhead; run on a "
+                "multi-core host for the scaling measurement)\n");
+  }
+  double planner_base_seconds = 0.0;
+  double planner_last_speedup = 1.0;
+  uint32_t planner_last_shards = 1;
+  for (const uint32_t shards : {1u, 4u, 8u}) {
+    if (shards > max_planner_shards) break;
+    ShardedVosConfig sharded;
+    sharded.base = config;
+    sharded.num_shards = shards;
+    ShardedVosSketch sharded_sketch(sharded, users);
+    sharded_sketch.UpdateBatch(elements.data(), elements.size());
+
+    QueryOptions planner_options;
+    planner_options.num_threads = planner_threads;
+    QueryPlanner planner(sharded_sketch, {}, planner_options);
+    planner.Rebuild(candidates);
+
+    // Verify before timing: bit-identical across planner thread counts,
+    // and identical to the per-pair EstimatePair reference when the
+    // candidate set is small enough for the O(n²·k) loop.
+    QueryOptions one_thread = planner_options;
+    one_thread.num_threads = 1;
+    QueryPlanner single(sharded_sketch, {}, one_thread);
+    single.Rebuild(candidates);
+    const auto planner_reference = single.AllPairsAbove(tau);
+    const auto planner_result = planner.AllPairsAbove(tau);
+    VOS_CHECK(planner_result.size() == planner_reference.size())
+        << "planner result depends on thread count at shards=" << shards;
+    for (size_t i = 0; i < planner_result.size(); ++i) {
+      VOS_CHECK(planner_result[i].u == planner_reference[i].u &&
+                planner_result[i].v == planner_reference[i].v &&
+                planner_result[i].common == planner_reference[i].common &&
+                planner_result[i].jaccard == planner_reference[i].jaccard)
+          << "planner pair " << i << " differs across thread counts";
+    }
+    if (users <= 600) {
+      const auto brute = planner.AllPairsAboveReference(tau);
+      VOS_CHECK(planner_result.size() == brute.size())
+          << "planner disagrees with the EstimatePair reference";
+      for (size_t i = 0; i < brute.size(); ++i) {
+        VOS_CHECK(planner_result[i].u == brute[i].u &&
+                  planner_result[i].v == brute[i].v &&
+                  planner_result[i].common == brute[i].common &&
+                  planner_result[i].jaccard == brute[i].jaccard)
+            << "planner pair " << i << " differs from EstimatePair";
+      }
+    }
+
+    const double planner_seconds = BestSeconds(repeats, [&] {
+      (void)planner.AllPairsAbove(tau);
+    });
+    if (shards == 1) planner_base_seconds = planner_seconds;
+    const double speedup = planner_base_seconds / planner_seconds;
+    planner_last_speedup = speedup;
+    planner_last_shards = shards;
+    emit("planner_all_pairs", "planner-s" + std::to_string(shards),
+         planner_threads, planner_seconds, num_pairs / planner_seconds,
+         "pairs/s", speedup);
+  }
+
   const std::vector<std::string> header = {
       "phase", "engine", "threads", "seconds", "throughput", "unit",
       "speedup"};
@@ -220,5 +321,9 @@ int main(int argc, char** argv) {
   std::printf("all_pairs speedup: %.2fx single-thread, %.2fx with %u "
               "threads.\n",
               scalar_pairs / batch_one, scalar_pairs / batch_many, threads);
+  std::printf("planner all_pairs scaling 1 -> %u shards: %.2fx vs. the "
+              "single global index (task-parallel scatter-gather; needs "
+              "multiple hardware threads).\n",
+              planner_last_shards, planner_last_speedup);
   return 0;
 }

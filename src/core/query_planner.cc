@@ -1,0 +1,387 @@
+#include "core/query_planner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/popcount.h"
+#include "core/scan_common.h"
+
+namespace vos::core {
+namespace {
+
+// Result orders, worker pool and prefilter math are shared with
+// SimilarityIndex (core/scan_common.h) — the planner is asserted
+// bit-identical to the single-index path, so none of it may diverge.
+using scan::EntryBefore;
+using scan::PairBefore;
+
+template <typename Work>
+void RunTasks(unsigned threads, size_t num_tasks, const Work& work) {
+  scan::RunIndexed(threads, num_tasks, work);
+}
+
+/// Raise-only publish of a shared lower bound (TopK's gathered k-th best
+/// Ĵ). Relaxed ordering is enough: the bound is a monotone hint — any
+/// stale read only prunes less.
+void PublishBound(std::atomic<double>* bound, double candidate) {
+  double current = bound->load(std::memory_order_relaxed);
+  while (candidate > current &&
+         !bound->compare_exchange_weak(current, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+QueryPlanner::QueryPlanner(const ShardedVosSketch& sketch,
+                           VosEstimatorOptions estimator_options,
+                           QueryOptions query_options)
+    : sketch_(&sketch),
+      estimator_(sketch.config().base.k, estimator_options),
+      query_options_(query_options),
+      log_alpha_table_(estimator_.BuildLogAlphaTable()) {
+  // One index per shard, bound to the shard's VosSketch (local id
+  // space). Planner parallelism is across tasks, so each index runs
+  // single-threaded inside — no nested oversubscription.
+  QueryOptions per_index = query_options_;
+  per_index.num_threads = 1;
+  indexes_.reserve(sketch.num_shards());
+  for (uint32_t s = 0; s < sketch.num_shards(); ++s) {
+    indexes_.push_back(std::make_unique<SimilarityIndex>(
+        sketch.shard(s), estimator_options, per_index));
+  }
+}
+
+void QueryPlanner::Rebuild(std::vector<UserId> candidates) {
+  VOS_DCHECK(!sketch_->HasPendingIngest())
+      << "Rebuild on a non-quiesced pipeline; call Flush() first";
+  candidates_ = std::move(candidates);
+  const uint32_t num_shards = sketch_->num_shards();
+  std::vector<std::vector<UserId>> locals(num_shards);
+  for (const UserId user : candidates_) {
+    locals[sketch_->ShardOf(user)].push_back(sketch_->LocalIdOf(user));
+  }
+  RunTasks(ResolveThreadCount(query_options_.num_threads, num_shards),
+           num_shards,
+           [&](size_t s) { indexes_[s]->Rebuild(std::move(locals[s])); });
+}
+
+bool QueryPlanner::Refresh() {
+  VOS_CHECK(query_options_.incremental)
+      << "Refresh needs QueryOptions::incremental";
+  VOS_DCHECK(!sketch_->HasPendingIngest())
+      << "Refresh on a non-quiesced pipeline; call Flush() first";
+  const uint32_t num_shards = sketch_->num_shards();
+  std::vector<uint8_t> incremental(num_shards, 0);
+  RunTasks(ResolveThreadCount(query_options_.num_threads, num_shards),
+           num_shards, [&](size_t s) {
+             incremental[s] = indexes_[s]->RefreshDirty() ? 1 : 0;
+           });
+  return std::all_of(incremental.begin(), incremental.end(),
+                     [](uint8_t i) { return i != 0; });
+}
+
+UserId QueryPlanner::GlobalOfRow(uint32_t s, size_t p) const {
+  const SimilarityIndex& index = *indexes_[s];
+  const UserId local = index.candidates()[index.sorted_to_candidate(p)];
+  return sketch_->GlobalUserOf(s, local);
+}
+
+void QueryPlanner::AppendSameShardPairs(uint32_t s,
+                                        std::vector<Pair> local_pairs,
+                                        std::vector<Pair>* out) const {
+  out->reserve(out->size() + local_pairs.size());
+  for (const Pair& pair : local_pairs) {
+    const UserId gu = sketch_->GlobalUserOf(s, pair.u);
+    const UserId gv = sketch_->GlobalUserOf(s, pair.v);
+    out->push_back({std::min(gu, gv), std::max(gu, gv), pair.common,
+                    pair.jaccard});
+  }
+}
+
+void QueryPlanner::ScanCrossShardBlock(uint32_t s, uint32_t t, size_t begin,
+                                       size_t end, double jaccard_threshold,
+                                       std::vector<Pair>* out) const {
+  const SimilarityIndex& ia = *indexes_[s];
+  const SimilarityIndex& ib = *indexes_[t];
+  const DigestMatrix& ma = ia.matrix();
+  const DigestMatrix& mb = ib.matrix();
+  const size_t nb = mb.rows();
+  if (nb == 0 || begin >= end) return;
+  const size_t words = ma.words_per_row();
+  const uint32_t k = ma.k();
+  const std::vector<uint32_t>& cards_b = ib.row_cardinalities();
+  // Cross-shard β correction: each digest carries its own shard's
+  // contamination, so the estimator takes the mean of the two log-beta
+  // terms — identical to ShardedVosSketch::EstimatePair.
+  const double log_beta_pair =
+      0.5 * (ia.log_beta_term() + ib.log_beta_term());
+
+  const auto emit = [&](size_t p, size_t q, const PairEstimate& est) {
+    const UserId gu = GlobalOfRow(s, p);
+    const UserId gv = GlobalOfRow(t, q);
+    out->push_back({std::min(gu, gv), std::max(gu, gv), est.common,
+                    est.jaccard});
+  };
+
+  // Same gating and slack regime as SimilarityIndex::ScanSortedBlock: the
+  // prefilter is sound only on the clamped estimator path.
+  const bool prefilter = query_options_.prefilter &&
+                         estimator_.options().clamp_to_feasible &&
+                         jaccard_threshold > 1e-5;
+  if (!prefilter) {
+    for (size_t p = begin; p < end; ++p) {
+      const uint64_t* row_a = ma.Row(p);
+      const double card_a = ia.row_cardinality(p);
+      for (size_t q = 0; q < nb; ++q) {
+        const size_t d = XorPopcount(row_a, mb.Row(q), words);
+        const PairEstimate est = estimator_.EstimateFromLogTerms(
+            card_a, cards_b[q], log_alpha_table_[d], log_beta_pair);
+        if (est.jaccard >= jaccard_threshold) emit(p, q, est);
+      }
+    }
+    return;
+  }
+
+  const double tau_frac = jaccard_threshold / (1.0 + jaccard_threshold);
+  const size_t phase1_words = scan::Phase1Words(words);
+  const bool split = phase1_words != words;
+  const size_t phase1_bits = std::min<size_t>(phase1_words * 64, k);
+  const double cut_scale = scan::CutScale(tau_frac, k);
+
+  for (size_t p = begin; p < end; ++p) {
+    const uint64_t* row_a = ma.Row(p);
+    const double card_a = ia.row_cardinality(p);
+    // Two-sided admissible window over B's cardinality-sorted rows. The
+    // same conservative min-bound as the same-shard sweep
+    // (scan::CardinalityFail), applied from both ends: below the window
+    // the partner is the min and too small, above it card_a is the min
+    // and too small; both fail predicates are monotone in the partner's
+    // cardinality, so both ends are partition points and out-of-window
+    // pairs are never enumerated.
+    const auto lo_it = std::partition_point(
+        cards_b.begin(), cards_b.end(), [&](uint32_t card_j) {
+          return scan::CardinalityFail(card_j, card_a + card_j, tau_frac);
+        });
+    const auto hi_it =
+        std::partition_point(lo_it, cards_b.end(), [&](uint32_t card_j) {
+          return !scan::CardinalityFail(card_a, card_a + card_j, tau_frac);
+        });
+    size_t q = static_cast<size_t>(lo_it - cards_b.begin());
+    const size_t q_end = static_cast<size_t>(hi_it - cards_b.begin());
+
+    // Identical finish to the same-shard sweep, with the combined
+    // ln|1−2β_A| + ln|1−2β_B| cut standing in for 2·ln|1−2β|.
+    const auto finish = [&](size_t qq, size_t d) {
+      const double card_b = cards_b[qq];
+      const double cut = scan::SlackedCut(cut_scale * (card_a + card_b) +
+                                          2.0 * log_beta_pair);
+      if (scan::ConfinedFail(log_alpha_table_, k, d, phase1_bits, cut)) {
+        return;
+      }
+      size_t d_full = d;
+      if (split) {
+        d_full += XorPopcount(row_a + phase1_words,
+                              mb.Row(qq) + phase1_words,
+                              words - phase1_words);
+      }
+      if (log_alpha_table_[d_full] < cut) return;
+      const PairEstimate est = estimator_.EstimateFromLogTerms(
+          card_a, card_b, log_alpha_table_[d_full], log_beta_pair);
+      if (est.jaccard >= jaccard_threshold) emit(p, qq, est);
+    };
+
+    size_t d8[8];
+    for (; q + 8 <= q_end; q += 8) {
+      XorPopcount8(row_a, mb.Row(q), words, phase1_words, d8);
+      for (size_t i = 0; i < 8; ++i) finish(q + i, d8[i]);
+    }
+    for (; q < q_end; ++q) {
+      finish(q, XorPopcount(row_a, mb.Row(q), phase1_words));
+    }
+  }
+}
+
+std::vector<QueryPlanner::Pair> QueryPlanner::AllPairsAbove(
+    double jaccard_threshold) const {
+  std::vector<Pair> pairs;
+  const uint32_t num_shards = sketch_->num_shards();
+  // Task list: one same-shard pass per shard (the index's own sweep,
+  // single-threaded) plus cross-shard (s, t) passes split into row
+  // blocks of shard s for balance.
+  std::vector<PairTask> tasks;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (indexes_[s]->candidate_count() >= 2) {
+      tasks.push_back({s, s, 0, 0, true});
+    }
+  }
+  const size_t block = std::max<size_t>(query_options_.block_size, 1);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const size_t rows_s = indexes_[s]->matrix().rows();
+    if (rows_s == 0) continue;
+    for (uint32_t t = s + 1; t < num_shards; ++t) {
+      if (indexes_[t]->matrix().rows() == 0) continue;
+      for (size_t b = 0; b < rows_s; b += block) {
+        tasks.push_back({s, t, b, std::min(rows_s, b + block), false});
+      }
+    }
+  }
+  if (tasks.empty()) return pairs;
+
+  std::vector<std::vector<Pair>> per_task(tasks.size());
+  RunTasks(ResolveThreadCount(query_options_.num_threads, tasks.size()),
+           tasks.size(), [&](size_t i) {
+             const PairTask& task = tasks[i];
+             if (task.same_shard) {
+               AppendSameShardPairs(
+                   task.s, indexes_[task.s]->AllPairsAbove(jaccard_threshold),
+                   &per_task[i]);
+             } else {
+               ScanCrossShardBlock(task.s, task.t, task.row_begin,
+                                   task.row_end, jaccard_threshold,
+                                   &per_task[i]);
+             }
+           });
+  size_t total = 0;
+  for (const auto& chunk : per_task) total += chunk.size();
+  pairs.reserve(total);
+  for (const auto& chunk : per_task) {
+    pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+  }
+  std::sort(pairs.begin(), pairs.end(), PairBefore);
+  return pairs;
+}
+
+std::vector<QueryPlanner::Entry> QueryPlanner::TopK(UserId query,
+                                                    size_t k) const {
+  if (k == 0 || candidates_.empty()) return {};
+  const uint32_t query_shard = sketch_->ShardOf(query);
+  const UserId query_local = sketch_->LocalIdOf(query);
+  const SimilarityIndex& query_index = *indexes_[query_shard];
+  const size_t words = DigestMatrix::WordsPerRow(sketch_->config().base.k);
+
+  // Query digest: snapshot row when the query is a candidate, live
+  // extraction from its owning shard otherwise.
+  std::vector<uint64_t> extracted;
+  const uint64_t* query_row = nullptr;
+  uint32_t query_card = 0;
+  const size_t query_pos = query_index.RowIndexOf(query_local);
+  if (query_pos != SimilarityIndex::npos) {
+    query_row = query_index.matrix().Row(query_pos);
+    query_card = query_index.row_cardinality(query_pos);
+  } else {
+    extracted.resize(words);
+    DigestMatrix::ExtractRow(sketch_->shard(query_shard), query_local,
+                             extracted.data());
+    query_row = extracted.data();
+    query_card = sketch_->shard(query_shard).Cardinality(query_local);
+  }
+  const double log_beta_query = query_index.log_beta_term();
+
+  // Scatter: one task per shard index. Gather under a shared global
+  // threshold bound: each task publishes its current k-th best Ĵ (a
+  // lower bound on the final k-th best — the merged top-k can only be
+  // better than any one task's) and prunes rows whose clamped Ĵ provably
+  // falls below a published bound before popcounting. Strict-inequality
+  // conservative ⇒ bit-identical to the unpruned scan for any schedule.
+  const bool prune = estimator_.options().clamp_to_feasible;
+  std::atomic<double> bound{-1.0};
+  const uint32_t num_shards = sketch_->num_shards();
+  std::vector<std::vector<Entry>> per_shard(num_shards);
+  RunTasks(
+      ResolveThreadCount(query_options_.num_threads, num_shards), num_shards,
+      [&](size_t s) {
+        const SimilarityIndex& index = *indexes_[s];
+        const DigestMatrix& matrix = index.matrix();
+        const size_t rows = matrix.rows();
+        if (rows == 0) return;
+        const double log_beta_pair =
+            0.5 * (log_beta_query + index.log_beta_term());
+        std::vector<Entry>& kept = per_shard[s];
+        const size_t trim_at = std::max<size_t>(2 * k, 256);
+        double local_bound = bound.load(std::memory_order_relaxed);
+        const auto trim = [&] {
+          if (kept.size() <= k) return;
+          std::partial_sort(kept.begin(),
+                            kept.begin() + static_cast<ptrdiff_t>(k),
+                            kept.end(), EntryBefore);
+          kept.resize(k);
+          PublishBound(&bound, kept.back().jaccard);
+          local_bound = bound.load(std::memory_order_relaxed);
+        };
+        for (size_t p = 0; p < rows; ++p) {
+          const UserId global = GlobalOfRow(static_cast<uint32_t>(s), p);
+          if (global == query) continue;
+          const double card_v = index.row_cardinality(p);
+          if (prune && local_bound > 0.0) {
+            // Ĵ ≤ min/(sum−min) under clamping; prune when even that
+            // ceiling is strictly below the bound (same slack regime as
+            // the all-pairs prefilter).
+            const double bound_frac = local_bound / (1.0 + local_bound);
+            if (scan::CardinalityFail(std::min<double>(query_card, card_v),
+                                      query_card + card_v, bound_frac)) {
+              continue;
+            }
+          }
+          const size_t d = XorPopcount(query_row, matrix.Row(p), words);
+          const PairEstimate est = estimator_.EstimateFromLogTerms(
+              query_card, card_v, log_alpha_table_[d], log_beta_pair);
+          kept.push_back({global, est.common, est.jaccard});
+          if (kept.size() >= trim_at) trim();
+        }
+        trim();
+      });
+
+  std::vector<Entry> entries;
+  size_t total = 0;
+  for (const auto& chunk : per_shard) total += chunk.size();
+  entries.reserve(total);
+  for (const auto& chunk : per_shard) {
+    entries.insert(entries.end(), chunk.begin(), chunk.end());
+  }
+  const size_t take = std::min(k, entries.size());
+  std::partial_sort(entries.begin(),
+                    entries.begin() + static_cast<ptrdiff_t>(take),
+                    entries.end(), EntryBefore);
+  entries.resize(take);
+  return entries;
+}
+
+std::vector<QueryPlanner::Pair> QueryPlanner::AllPairsAboveReference(
+    double jaccard_threshold) const {
+  std::vector<Pair> pairs;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    for (size_t j = i + 1; j < candidates_.size(); ++j) {
+      const PairEstimate est =
+          sketch_->EstimatePair(candidates_[i], candidates_[j]);
+      if (est.jaccard >= jaccard_threshold) {
+        const UserId u = std::min(candidates_[i], candidates_[j]);
+        const UserId v = std::max(candidates_[i], candidates_[j]);
+        pairs.push_back({u, v, est.common, est.jaccard});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), PairBefore);
+  return pairs;
+}
+
+std::vector<QueryPlanner::Entry> QueryPlanner::TopKReference(
+    UserId query, size_t k) const {
+  std::vector<Entry> entries;
+  entries.reserve(candidates_.size());
+  for (const UserId candidate : candidates_) {
+    if (candidate == query) continue;
+    const PairEstimate est = sketch_->EstimatePair(query, candidate);
+    entries.push_back({candidate, est.common, est.jaccard});
+  }
+  const size_t take = std::min(k, entries.size());
+  std::partial_sort(entries.begin(),
+                    entries.begin() + static_cast<ptrdiff_t>(take),
+                    entries.end(), EntryBefore);
+  entries.resize(take);
+  return entries;
+}
+
+}  // namespace vos::core

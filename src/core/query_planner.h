@@ -1,0 +1,180 @@
+// QueryPlanner: shard-aware batch similarity queries over a
+// ShardedVosSketch — the query tier that scales with shard count.
+//
+// PR 2 sharded the write path; this class shards the read path to match.
+// It owns one SimilarityIndex per shard, each built over that shard's
+// VosSketch in shard-local id space (the dense remap of
+// core/sharded_vos_sketch.h), and plans queries as a scatter–gather over
+// those indexes:
+//
+//   * Rebuild(candidates) partitions the global candidate set by shard,
+//     translates ids to dense locals, and (re)builds every shard index —
+//     S independent snapshot builds, run in parallel. With
+//     QueryOptions::incremental each snapshot retains refresh state, and
+//     Refresh() drains each shard's dirty set shard-locally through
+//     SimilarityIndex::RefreshDirty (with its adaptive full-rebuild
+//     fallback) — incremental maintenance never crosses a shard boundary.
+//
+//   * AllPairsAbove(τ) decomposes the pair space exactly: S same-shard
+//     passes (each shard index's own cardinality-sorted sweep, kernels,
+//     prefilter — unchanged) plus S·(S−1)/2 cross-shard passes that scan
+//     one shard's DigestMatrix against another's. Digests from different
+//     shards are XOR-comparable (shared ψ, equal k); only the β
+//     correction changes: each digest carries its own shard's
+//     contamination, so the §IV (1−2β)² factor generalizes to
+//     (1−2β_A)(1−2β_B) and the estimator receives the mean of the two
+//     log-beta terms. The conservative prefilters generalize too — the τ
+//     cardinality bound becomes a two-sided window over the partner
+//     shard's sorted rows (both matrices are cardinality-sorted, so both
+//     window ends are partition points), and the 3/4-row confinement
+//     check and exact log-alpha screen run with the combined
+//     ln|1−2β_A| + ln|1−2β_B| cut. Estimates are bit-identical to
+//     ShardedVosSketch::EstimatePair on the same quiesced state: the
+//     same log-alpha table, the same mean-log-beta combination.
+//
+//   * TopK(u, k) scatters the query digest to every shard index and
+//     gathers per-shard top-k lists under a shared global threshold
+//     bound: each worker publishes its current k-th best Ĵ (a lower bound
+//     on the final k-th best, since the merged result can only be
+//     better), and every worker prunes candidates whose clamped Ĵ
+//     provably falls below the published bound before popcounting.
+//     Pruning is strict-inequality conservative, so the merged result is
+//     bit-identical to the unpruned scan for every schedule.
+//
+// Parallelism model: the planner parallelizes ACROSS tasks (shard passes,
+// cross-shard row blocks) with QueryOptions::num_threads workers; each
+// task runs single-threaded inside (per-shard indexes are configured with
+// one thread), so there is no nested oversubscription. With S == 1 the
+// planner degenerates to the single global index scanned by one task —
+// exactly the pre-sharding query path, which is what
+// bench/micro_query_path.cc measures shard scaling against.
+//
+// Results are global: pairs/entries carry global user ids (canonically
+// oriented u < v), merged across tasks in deterministic task order and
+// sorted with the same total orders SimilarityIndex uses — the output is
+// independent of thread count and schedule.
+//
+// Thread-safety contract: Rebuild()/Refresh() mutate the planner and must
+// not run concurrently with queries or each other, and they require a
+// quiesced ingest pipeline — call ShardedVosSketch::Flush() first, as for
+// any SimilarityIndex snapshot. Between snapshots TopK/AllPairsAbove and
+// the *Reference twins are const and concurrent-safe.
+//
+// The *Reference implementations answer from per-pair
+// ShardedVosSketch::EstimatePair calls — the ground truth the planner is
+// asserted bit-identical against (tests/query_planner_test.cc) and the
+// baseline the bench measures speedups over.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/sharded_vos_sketch.h"
+#include "core/similarity_index.h"
+
+namespace vos::core {
+
+/// Scatter–gather query planner over per-shard SimilarityIndex snapshots.
+class QueryPlanner {
+ public:
+  using Entry = SimilarityIndex::Entry;
+  using Pair = SimilarityIndex::Pair;
+
+  /// Binds to `sketch` (not owned; must outlive the planner).
+  /// QueryOptions::num_threads is the planner's task-level worker count;
+  /// QueryOptions::incremental enables Refresh() (requires the shards to
+  /// track dirty users, VosConfig::track_dirty).
+  explicit QueryPlanner(const ShardedVosSketch& sketch,
+                        VosEstimatorOptions estimator_options = {},
+                        QueryOptions query_options = {});
+
+  /// Snapshots every shard index for the global candidate set.
+  /// Candidates must be unique; pairs and entries are reported between
+  /// candidates only.
+  void Rebuild(std::vector<UserId> candidates);
+
+  /// Incrementally re-snapshots the SAME candidate set, draining each
+  /// shard's dirty set shard-locally (SimilarityIndex::RefreshDirty, with
+  /// the adaptive full-rebuild fallback). Requires
+  /// QueryOptions::incremental and a prior Rebuild(). Returns true when
+  /// every shard refreshed incrementally, false if any fell back to a
+  /// full per-shard rebuild. Result is bit-identical either way.
+  bool Refresh();
+
+  /// All unordered candidate pairs with Ĵ ≥ `jaccard_threshold`, global
+  /// ids, u < v, descending Ĵ (ties by (u, v)) — same pair set and
+  /// bit-identical estimates as AllPairsAboveReference on quiesced state.
+  std::vector<Pair> AllPairsAbove(double jaccard_threshold) const;
+
+  /// The `k` candidates most similar to `query` (global id; any user of
+  /// the stream, candidate or not), excluding the query itself.
+  std::vector<Entry> TopK(UserId query, size_t k) const;
+
+  /// Ground truth: one ShardedVosSketch::EstimatePair call per candidate
+  /// pair. O(n²·k) — tests and bench baselines only.
+  std::vector<Pair> AllPairsAboveReference(double jaccard_threshold) const;
+
+  /// Ground truth for TopK (see AllPairsAboveReference).
+  std::vector<Entry> TopKReference(UserId query, size_t k) const;
+
+  size_t candidate_count() const { return candidates_.size(); }
+  const std::vector<UserId>& candidates() const { return candidates_; }
+
+  /// The shard-local index of shard s (snapshot of its candidates in
+  /// dense local ids). Exposed for diagnostics, tests and the method
+  /// adapter's per-pair cache reads.
+  const SimilarityIndex& shard_index(uint32_t s) const {
+    return *indexes_[s];
+  }
+
+  const QueryOptions& query_options() const { return query_options_; }
+
+  /// Task-level worker count for subsequent Rebuild/Refresh/queries
+  /// (0 = hardware concurrency). Results are bit-identical for every
+  /// value, so a long-lived planner can follow
+  /// SimilarityMethod::SetQueryThreads without invalidating its
+  /// snapshots. Not concurrent-safe with running queries.
+  void set_num_threads(unsigned num_threads) {
+    query_options_.num_threads = num_threads;
+  }
+
+ private:
+  /// One unit of AllPairsAbove work: a same-shard pass (whole shard) or a
+  /// row block of a cross-shard (s, t) pass.
+  struct PairTask {
+    uint32_t s = 0;
+    uint32_t t = 0;
+    size_t row_begin = 0;  ///< rows of shard s's matrix (cross tasks)
+    size_t row_end = 0;
+    bool same_shard = false;
+  };
+
+  /// Scans rows [begin, end) of shard s's matrix against all rows of
+  /// shard t's matrix (s != t), appending passing pairs (global ids) to
+  /// `out`. Two-sided cardinality window + confinement prefilter, 1×8
+  /// kernels.
+  void ScanCrossShardBlock(uint32_t s, uint32_t t, size_t begin, size_t end,
+                           double jaccard_threshold,
+                           std::vector<Pair>* out) const;
+
+  /// Translates a same-shard index result to global ids, canonically
+  /// oriented.
+  void AppendSameShardPairs(uint32_t s, std::vector<Pair> local_pairs,
+                            std::vector<Pair>* out) const;
+
+  /// Global id of shard s's matrix row p.
+  UserId GlobalOfRow(uint32_t s, size_t p) const;
+
+  const ShardedVosSketch* sketch_;
+  VosEstimator estimator_;
+  QueryOptions query_options_;
+  std::vector<UserId> candidates_;
+  /// One snapshot index per shard, over that shard's candidate locals.
+  std::vector<std::unique_ptr<SimilarityIndex>> indexes_;
+  /// ln|1−2·d/k| per Hamming distance d — shared by every cross-shard
+  /// task (identical by construction to each index's internal table).
+  std::vector<double> log_alpha_table_;
+};
+
+}  // namespace vos::core

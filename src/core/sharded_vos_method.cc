@@ -6,29 +6,66 @@
 
 namespace vos::core {
 
+ShardedVosConfig ShardedVosMethod::WithQueryConfig(
+    ShardedVosConfig config, const ShardedQueryConfig& query) {
+  // Incremental per-shard indexes consume the shards' dirty sets.
+  if (query.shards_local) config.base.track_dirty = true;
+  return config;
+}
+
 ShardedVosMethod::ShardedVosMethod(const ShardedVosConfig& config,
                                    UserId num_users,
-                                   VosEstimatorOptions options)
-    : sketch_(config, num_users, options),
+                                   VosEstimatorOptions options,
+                                   ShardedQueryConfig query_config)
+    : config_(WithQueryConfig(config, query_config)),
+      query_config_(query_config),
+      sketch_(config_, num_users, options),
       log_alpha_table_(sketch_.estimator().BuildLogAlphaTable()),
       cache_(config.num_shards),
       cached_beta_(config.num_shards, -1.0),
-      cached_log_beta_term_(config.num_shards, 0.0) {}
+      cached_log_beta_term_(config.num_shards, 0.0),
+      query_threads_(query_config.planner_threads) {}
 
 void ShardedVosMethod::PrepareQuery(const std::vector<UserId>& users) {
   sketch_.Flush();
+  if (query_config_.shards_local) {
+    // Planner cache: first call (or a changed tracked set) snapshots
+    // every shard index; repeat calls over the same set refresh
+    // incrementally, draining each shard's dirty set shard-locally.
+    if (planner_ == nullptr) {
+      QueryOptions planner_options;
+      planner_options.num_threads = query_threads_;
+      planner_options.incremental = true;
+      planner_ = std::make_unique<QueryPlanner>(
+          sketch_, sketch_.estimator().options(), planner_options);
+    } else {
+      // Honour a SetQueryThreads issued after the planner was built.
+      planner_->set_num_threads(query_threads_);
+    }
+    if (planner_candidates_ == users && planner_->candidate_count() > 0) {
+      planner_->Refresh();
+    } else {
+      planner_candidates_ = users;
+      planner_->Rebuild(users);
+    }
+    planner_ready_ = true;
+    return;
+  }
   const uint32_t shards = sketch_.num_shards();
-  std::vector<std::vector<UserId>> per_shard(shards);
+  std::vector<std::vector<UserId>> per_shard_locals(shards);
+  std::vector<std::vector<UserId>> per_shard_globals(shards);
   for (UserId user : users) {
-    per_shard[sketch_.ShardOf(user)].push_back(user);
+    const uint32_t s = sketch_.ShardOf(user);
+    per_shard_locals[s].push_back(sketch_.LocalIdOf(user));
+    per_shard_globals[s].push_back(user);
   }
   cache_slots_.clear();
   cache_slots_.reserve(users.size());
   for (uint32_t s = 0; s < shards; ++s) {
-    cache_[s] =
-        DigestMatrix::Build(sketch_.shard(s), per_shard[s], query_threads_);
-    for (size_t row = 0; row < per_shard[s].size(); ++row) {
-      cache_slots_.emplace(per_shard[s][row],
+    cache_[s] = DigestMatrix::Build(sketch_.shard(s), per_shard_locals[s],
+                                    query_threads_);
+    for (size_t row = 0; row < per_shard_globals[s].size(); ++row) {
+      cache_slots_.emplace(per_shard_globals[s][row],
                            CacheSlot{s, static_cast<uint32_t>(row)});
     }
     cached_beta_[s] = sketch_.shard(s).beta();
@@ -41,9 +78,35 @@ void ShardedVosMethod::InvalidateQueryCache() {
   cache_slots_.clear();
   for (DigestMatrix& matrix : cache_) matrix.Clear();
   std::fill(cached_beta_.begin(), cached_beta_.end(), -1.0);
+  // The planner's incremental state is the point of the shards_local
+  // mode — keep it, just stop serving estimates from it until the next
+  // PrepareQuery re-validates the snapshot.
+  planner_ready_ = false;
+}
+
+PairEstimate ShardedVosMethod::EstimateFromPlanner(UserId u, UserId v) const {
+  const uint32_t su = sketch_.ShardOf(u);
+  const uint32_t sv = sketch_.ShardOf(v);
+  const SimilarityIndex& iu = planner_->shard_index(su);
+  const SimilarityIndex& iv = planner_->shard_index(sv);
+  const size_t pu = iu.RowIndexOf(sketch_.LocalIdOf(u));
+  const size_t pv = iv.RowIndexOf(sketch_.LocalIdOf(v));
+  if (pu == SimilarityIndex::npos || pv == SimilarityIndex::npos) {
+    return sketch_.EstimatePair(u, v);
+  }
+  const size_t d = XorPopcount(iu.matrix().Row(pu), iv.matrix().Row(pv),
+                               iu.matrix().words_per_row());
+  const double log_beta_term =
+      0.5 * (iu.log_beta_term() + iv.log_beta_term());
+  return sketch_.estimator().EstimateFromLogTerms(
+      iu.row_cardinality(pu), iv.row_cardinality(pv), log_alpha_table_[d],
+      log_beta_term);
 }
 
 PairEstimate ShardedVosMethod::EstimatePair(UserId u, UserId v) const {
+  if (planner_ready_ && planner_ != nullptr) {
+    return EstimateFromPlanner(u, v);
+  }
   const auto iu = cache_slots_.find(u);
   const auto iv = cache_slots_.find(v);
   if (iu != cache_slots_.end() && iv != cache_slots_.end()) {
@@ -62,10 +125,10 @@ PairEstimate ShardedVosMethod::EstimatePair(UserId u, UserId v) const {
     };
     const double log_beta_term =
         0.5 * (log_beta(su.shard) + log_beta(sv.shard));
-    return estimator.EstimateFromLogTerms(
-        sketch_.shard(su.shard).Cardinality(u),
-        sketch_.shard(sv.shard).Cardinality(v), log_alpha_table_[d],
-        log_beta_term);
+    return estimator.EstimateFromLogTerms(sketch_.Cardinality(u),
+                                          sketch_.Cardinality(v),
+                                          log_alpha_table_[d],
+                                          log_beta_term);
   }
   return sketch_.EstimatePair(u, v);
 }

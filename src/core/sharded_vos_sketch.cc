@@ -36,6 +36,7 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
     : config_(config),
       router_(config.num_shards,
               hash::DeriveSeed(config.base.seed, kRouterTag)),
+      num_users_(num_users),
       estimator_(config.base.k, estimator_options) {
   VOS_CHECK(config.num_shards >= 1) << "need at least one shard";
   // A zero capacity would make the back-pressure wait unsatisfiable
@@ -44,8 +45,15 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
   config_.queue_capacity = std::max<size_t>(1, config_.queue_capacity);
   config_.batch_size = std::max<size_t>(1, config_.batch_size);
   shards_.reserve(config.num_shards);
-  for (uint32_t s = 0; s < config.num_shards; ++s) {
-    shards_.emplace_back(ShardConfig(config, s), num_users);
+  if (config.num_shards > 1) {
+    // Dense remap: shard s is sized for exactly the users it owns and
+    // addresses them by dense local id (see file comment).
+    dense_map_ = stream::DenseShardMap(router_, num_users);
+    for (uint32_t s = 0; s < config.num_shards; ++s) {
+      shards_.emplace_back(ShardConfig(config, s), dense_map_.shard_size(s));
+    }
+  } else {
+    shards_.emplace_back(ShardConfig(config, 0), num_users);
   }
   if (config.ingest_threads > 0) {
     const unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
@@ -75,7 +83,14 @@ ShardedVosSketch::~ShardedVosSketch() {
 
 void ShardedVosSketch::Update(const stream::Element& e) {
   if (!async()) {
-    shards_[router_.ShardOf(e.user)].Update(e);
+    const uint32_t s = router_.ShardOf(e.user);
+    if (!dense_remap()) {
+      shards_[s].Update(e);
+    } else {
+      stream::Element local = e;
+      local.user = dense_map_.LocalOf(e.user);
+      shards_[s].Update(local);
+    }
     return;
   }
   pending_.push_back(e);
@@ -86,9 +101,7 @@ void ShardedVosSketch::UpdateBatch(const stream::Element* elements,
                                    size_t count) {
   if (count == 0) return;
   if (!async()) {
-    for (size_t i = 0; i < count; ++i) {
-      shards_[router_.ShardOf(elements[i].user)].Update(elements[i]);
-    }
+    for (size_t i = 0; i < count; ++i) Update(elements[i]);
     return;
   }
   // Keep per-shard order: anything buffered by Update() precedes this
@@ -97,8 +110,20 @@ void ShardedVosSketch::UpdateBatch(const stream::Element* elements,
   auto batch = std::make_shared<IngestBatch>();
   batch->elements.assign(elements, elements + count);
   batch->tags.resize(count);
-  router_.Tag(batch->elements.data(), count, batch->tags.data());
+  RouteBatch(batch->elements.data(), count, batch->tags.data());
   EnqueueBatch(std::move(batch));
+}
+
+void ShardedVosSketch::RouteBatch(stream::Element* elements, size_t count,
+                                  uint16_t* tags) {
+  // The handoff to shard-local coordinates: after this, elements carry
+  // dense local ids and tags carry the owning shard, so workers apply
+  // them verbatim.
+  if (dense_remap()) {
+    dense_map_.Route(elements, count, tags);
+  } else {
+    router_.Tag(elements, count, tags);
+  }
 }
 
 void ShardedVosSketch::FlushPendingBuffer() {
@@ -107,8 +132,8 @@ void ShardedVosSketch::FlushPendingBuffer() {
   batch->elements = std::move(pending_);
   pending_.clear();
   batch->tags.resize(batch->elements.size());
-  router_.Tag(batch->elements.data(), batch->elements.size(),
-              batch->tags.data());
+  RouteBatch(batch->elements.data(), batch->elements.size(),
+             batch->tags.data());
   EnqueueBatch(std::move(batch));
 }
 
@@ -187,11 +212,13 @@ PairEstimate ShardedVosSketch::EstimatePair(UserId u, UserId v) const {
       << "EstimatePair on a non-quiesced pipeline; call Flush() first";
   const VosSketch& sketch_u = shards_[router_.ShardOf(u)];
   const VosSketch& sketch_v = shards_[router_.ShardOf(v)];
+  const UserId lu = LocalIdOf(u);
+  const UserId lv = LocalIdOf(v);
   const uint32_t k = config_.base.k;
   const size_t words = DigestMatrix::WordsPerRow(k);
   std::vector<uint64_t> row_u(words), row_v(words);
-  DigestMatrix::ExtractRow(sketch_u, u, row_u.data());
-  DigestMatrix::ExtractRow(sketch_v, v, row_v.data());
+  DigestMatrix::ExtractRow(sketch_u, lu, row_u.data());
+  DigestMatrix::ExtractRow(sketch_v, lv, row_v.data());
   const size_t d = XorPopcount(row_u.data(), row_v.data(), words);
   const double alpha = static_cast<double>(d) / k;
   // Each digest carries its own shard's contamination, so the §IV
@@ -201,15 +228,20 @@ PairEstimate ShardedVosSketch::EstimatePair(UserId u, UserId v) const {
   const double log_beta_term =
       0.5 * (estimator_.LogBetaTerm(sketch_u.beta()) +
              estimator_.LogBetaTerm(sketch_v.beta()));
-  return estimator_.EstimateFromLogTerms(sketch_u.Cardinality(u),
-                                         sketch_v.Cardinality(v),
+  return estimator_.EstimateFromLogTerms(sketch_u.Cardinality(lu),
+                                         sketch_v.Cardinality(lv),
                                          estimator_.LogAlphaTerm(alpha),
                                          log_beta_term);
 }
 
 size_t ShardedVosSketch::MemoryBits() const {
-  size_t total = 0;
-  for (const VosSketch& shard : shards_) total += shard.MemoryBits();
+  // Arrays plus every per-user structure this facade allocates: honest
+  // accounting for equal-memory comparisons (see header comment). The
+  // dense remap keeps the per-user portion independent of num_shards.
+  size_t total = dense_map_.MemoryBits();
+  for (const VosSketch& shard : shards_) {
+    total += shard.MemoryBits() + shard.PerUserStateBits();
+  }
   return total;
 }
 

@@ -29,6 +29,22 @@
 // pipeline is synchronous: UpdateBatch routes and applies inline, which
 // is deterministic and what the equivalence tests compare against.
 //
+// Dense user remap (num_shards > 1): shard s's VosSketch lives entirely
+// in shard-local id space. A construction-time DenseShardMap
+// (stream/shard_router.h) assigns every global id a dense local id — its
+// global-id rank within its shard — and routing rewrites each element's
+// user to that local id before the shard sees it. Shard s is therefore
+// sized for exactly the users it owns: per-user state (cardinality
+// counters, dirty epochs) totals ~8 bytes/user across ALL shards instead
+// of ~8·S bytes/user, the remap itself costs a fixed 8 bytes/user, and
+// MemoryBits() counts all of it (see below). Because the map depends
+// only on (seed, num_shards, num_users) — never on stream order — shard
+// state stays deterministic across pipelines, and the query tier
+// translates with two O(1) table lookups (LocalIdOf / GlobalUserOf).
+// With num_shards == 1 the remap is the identity and is skipped
+// entirely, keeping the single shard bit-identical to a standalone
+// VosSketch(base) fed the raw stream.
+//
 // Thread-safety contract: Update / UpdateBatch / Flush are
 // producer-side calls and must come from one thread at a time. Queries
 // (EstimatePair, shard(), Cardinality) require a quiesced pipeline —
@@ -36,12 +52,8 @@
 // destructor flushes and joins the workers.
 //
 // Known costs at extreme scale (ROADMAP "Ingestion engine" follow-ups):
-// each shard is a full VosSketch sized for ALL users, so per-user state
-// (cardinality counters, dirty epochs) is allocated S times — ~8·S
-// bytes/user, invisible to MemoryBits(), which counts sketch arrays
-// only; a per-shard dense user remap would reclaim it. And because each
-// worker scans the whole tagged batch (skipping foreign elements), the
-// per-worker scan floor caps async speedup at roughly
+// because each worker scans the whole tagged batch (skipping foreign
+// elements), the per-worker scan floor caps async speedup at roughly
 // (t_update + t_scan)/t_scan for large S; per-(producer, shard)
 // sub-batches remove the O(S·N) scan when shard counts grow past the
 // worker count of one socket.
@@ -118,28 +130,59 @@ class ShardedVosSketch {
   bool HasPendingIngest() const;
 
   /// (ŝ, Ĵ) for a pair at the current (flushed) state. Same-shard pairs
-  /// match a standalone VosSketch bit-for-bit; cross-shard pairs use the
-  /// two-β contamination correction (see file comment).
+  /// match a standalone VosSketch fed the shard's (locally re-id'd)
+  /// sub-stream bit-for-bit; cross-shard pairs use the two-β
+  /// contamination correction (see file comment).
   PairEstimate EstimatePair(UserId u, UserId v) const;
 
   uint32_t ShardOf(UserId user) const { return router_.ShardOf(user); }
   uint32_t num_shards() const { return router_.num_shards(); }
   const stream::ShardRouter& router() const { return router_; }
 
+  /// True when the dense remap is engaged (num_shards > 1); with one
+  /// shard local ids equal global ids.
+  bool dense_remap() const { return router_.num_shards() > 1; }
+
+  /// Dense local id of `user` within shard ShardOf(user) — the id its
+  /// owning shard's VosSketch knows it by.
+  UserId LocalIdOf(UserId user) const {
+    return dense_remap() ? dense_map_.LocalOf(user) : user;
+  }
+
+  /// Inverse of LocalIdOf: the global id behind (shard, local).
+  UserId GlobalUserOf(uint32_t shard, UserId local) const {
+    return dense_remap() ? dense_map_.GlobalOf(shard, local) : local;
+  }
+
+  /// Users owned by `shard` (the size of its dense local id space).
+  UserId ShardUserCount(uint32_t shard) const {
+    return shards_[shard].num_users();
+  }
+
   const VosSketch& shard(uint32_t s) const { return shards_[s]; }
   VosSketch& mutable_shard(uint32_t s) { return shards_[s]; }
 
   /// n_u, read from the user's owning shard.
   uint32_t Cardinality(UserId user) const {
-    return shards_[ShardOf(user)].Cardinality(user);
+    return shards_[ShardOf(user)].Cardinality(LocalIdOf(user));
   }
 
-  /// Sum of the shard arrays — ≈ base.m by construction.
+  /// Honest total memory: the shard arrays (≈ base.m bits by
+  /// construction) PLUS every per-user structure the sharded facade
+  /// allocates — per-shard cardinality counters and dirty epochs
+  /// (VosSketch::PerUserStateBits) and the dense remap's forward/inverse
+  /// tables. Thanks to the dense remap the per-user portion is
+  /// independent of num_shards (~8–16 bytes/user total, vs. ~8·S
+  /// bytes/user without it), and — unlike plain VosSketch::MemoryBits(),
+  /// which excludes the one cardinality counter per user every compared
+  /// method keeps — nothing here is silently dropped: duplicated or
+  /// facade-specific per-user state is exactly the overhead a
+  /// Figure-2-style equal-memory comparison must see.
   size_t MemoryBits() const;
 
   const ShardedVosConfig& config() const { return config_; }
   const VosEstimator& estimator() const { return estimator_; }
-  UserId num_users() const { return shards_[0].num_users(); }
+  UserId num_users() const { return num_users_; }
 
  private:
   /// One tagged, immutable batch shared by every worker.
@@ -155,12 +198,19 @@ class ShardedVosSketch {
   };
 
   bool async() const { return !worker_threads_.empty(); }
+  /// Rewrites a batch to shard-local coordinates (dense local ids +
+  /// shard tags); pure tagging when the remap is off (one shard).
+  void RouteBatch(stream::Element* elements, size_t count, uint16_t* tags);
   void EnqueueBatch(std::shared_ptr<const IngestBatch> batch);
   void FlushPendingBuffer();
   void WorkerLoop(unsigned worker);
 
   ShardedVosConfig config_;
   stream::ShardRouter router_;
+  /// Global id → (shard, dense local id); empty when num_shards == 1
+  /// (identity remap). Immutable after construction.
+  stream::DenseShardMap dense_map_;
+  UserId num_users_ = 0;
   VosEstimator estimator_;
   std::vector<VosSketch> shards_;
   /// owner_[s] = worker that applies shard s's elements.

@@ -7,43 +7,19 @@
 #include <thread>
 
 #include "common/popcount.h"
+#include "core/scan_common.h"
 
 namespace vos::core {
 namespace {
 
-/// Total order on entries: Ĵ descending, then user ascending — identical
-/// to the scalar reference, so batch results sort to the same sequence.
-bool EntryBefore(const SimilarityIndex::Entry& a,
-                 const SimilarityIndex::Entry& b) {
-  return a.jaccard != b.jaccard ? a.jaccard > b.jaccard : a.user < b.user;
-}
+// Result orders and the dynamic worker pool are shared with the planner
+// (core/scan_common.h) — both paths must sort and schedule identically.
+using scan::EntryBefore;
+using scan::PairBefore;
 
-/// Total order on pairs: Ĵ descending, then (u, v) ascending.
-bool PairBefore(const SimilarityIndex::Pair& a,
-                const SimilarityIndex::Pair& b) {
-  if (a.jaccard != b.jaccard) return a.jaccard > b.jaccard;
-  return a.u != b.u ? a.u < b.u : a.v < b.v;
-}
-
-/// Runs `work(block)` for every block in [0, num_blocks) across `threads`
-/// workers pulling block ids from a shared counter (dynamic balancing for
-/// the triangular all-pairs workload). Caller merges per-block outputs in
-/// block order, so results are independent of the schedule.
 template <typename Work>
 void RunBlocks(unsigned threads, size_t num_blocks, const Work& work) {
-  std::atomic<size_t> next{0};
-  const auto worker = [&] {
-    for (size_t block = next.fetch_add(1, std::memory_order_relaxed);
-         block < num_blocks;
-         block = next.fetch_add(1, std::memory_order_relaxed)) {
-      work(block);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();
-  for (std::thread& t : pool) t.join();
+  scan::RunIndexed(threads, num_blocks, work);
 }
 
 }  // namespace
@@ -159,7 +135,7 @@ void SimilarityIndex::Rebuild(std::vector<UserId> candidates) {
   log_beta_term_ = estimator_.LogBetaTerm(beta_);
 }
 
-void SimilarityIndex::RefreshDirty() {
+bool SimilarityIndex::RefreshDirty() {
   VOS_CHECK(query_options_.incremental)
       << "RefreshDirty needs QueryOptions::incremental";
   VOS_CHECK(snapshot_words_.size() == sketch_->array().words().size())
@@ -190,6 +166,18 @@ void SimilarityIndex::RefreshDirty() {
       if ((mask >> (entry & 63)) & 1) affected[entry >> 6] = 1;
     }
     snapshot_words_[w] = live_words[w];
+  }
+
+  // Adaptive fallback: past the break-even fraction, re-extracting
+  // everything is cheaper than refresh bookkeeping. Deciding here costs
+  // only the delta scan above; Rebuild re-captures the snapshot anyway,
+  // so the in-place word re-sync is harmless.
+  size_t affected_count = 0;
+  for (const uint8_t a : affected) affected_count += a;
+  if (static_cast<double>(affected_count) >
+      query_options_.refresh_fallback_fraction * static_cast<double>(n)) {
+    Rebuild(std::move(candidates_));
+    return false;
   }
 
   for (size_t i = 0; i < n; ++i) {
@@ -226,6 +214,7 @@ void SimilarityIndex::RefreshDirty() {
   sketch_->ClearDirtyUsers();
   beta_ = sketch_->beta();
   log_beta_term_ = estimator_.LogBetaTerm(beta_);
+  return true;
 }
 
 size_t SimilarityIndex::RowOf(UserId user) const {
@@ -361,16 +350,14 @@ void SimilarityIndex::ScanSortedBlock(size_t begin, size_t end,
   //      pairs below the bound skip the estimator (popcount only).
   const double tau_frac = jaccard_threshold / (1.0 + jaccard_threshold);
 
-  // Early-exit split: the 2×4/1×8 micro-kernels popcount the first ~3/4
-  // of each row, then a confinement check decides whether the remaining
-  // words can still move the pair into a pass region. The fixed spans
-  // keep the kernels fully unrolled; short rows skip the split. The
-  // split position only decides where the (always sound) check runs,
-  // never the result. (An additional earlier check at ~1/2 was measured
-  // slower: its survivors leave the batched kernels for pairwise
-  // finishes, costing more than the earlier exit saves.)
-  const bool split = words >= 16;
-  const size_t phase1_words = split ? (words * 3 / 4) & ~size_t{3} : words;
+  // Early-exit split (scan::Phase1Words): the 2×4/1×8 micro-kernels
+  // popcount the first ~3/4 of each row, then a confinement check decides
+  // whether the remaining words can still move the pair into a pass
+  // region. (An additional earlier check at ~1/2 was measured slower: its
+  // survivors leave the batched kernels for pairwise finishes, costing
+  // more than the earlier exit saves.)
+  const size_t phase1_words = scan::Phase1Words(words);
+  const bool split = phase1_words != words;
   const size_t phase1_bits = std::min<size_t>(phase1_words * 64, k);
 
   const auto emit = [&](size_t p, size_t q, const PairEstimate& est) {
@@ -403,39 +390,28 @@ void SimilarityIndex::ScanSortedBlock(size_t begin, size_t end,
   // cardinality, so the window end is a partition point — pairs beyond it
   // are never enumerated.
   const auto window_end = [&](size_t p, double card_i) {
+    // In sorted order card_i is the pair's min throughout the window, so
+    // the fail test is scan::CardinalityFail on card_i.
     const auto it = std::partition_point(
         cards_by_row_.begin() + static_cast<ptrdiff_t>(p) + 1,
         cards_by_row_.begin() + static_cast<ptrdiff_t>(n),
         [&](uint32_t card_j) {
-          const double sum = card_i + card_j;
-          return !(card_i < tau_frac * sum - 1e-6 * (sum + 1.0));
+          return !scan::CardinalityFail(card_i, card_i + card_j, tau_frac);
         });
     return static_cast<size_t>(it - cards_by_row_.begin());
   };
 
   // Finishes pair (p, q) given row p's data and the pair's phase-1
-  // distance. The pass set on d for this pair is {d : table[d] ≥ cut} =
-  // [0, lo_end) ∪ [hi_begin, k] (table is non-increasing up to k/2 and
-  // non-decreasing after), so membership tests reduce to one table lookup
-  // per endpoint — no search. A partial distance over `seen` bits
-  // confines the final distance to [d, d + (k − seen)]; the pair
-  // provably fails when that interval misses both pass regions: d is
-  // past the low region (d > k/2, or its table value already below the
-  // cut) and even the maximum cannot reach the high region.
-  const size_t mid = k / 2;
-  const auto confined_fail = [&](size_t d, size_t seen_bits, double cut) {
-    const size_t d_max = std::min<size_t>(d + (k - seen_bits), k);
-    return (d > mid || log_alpha_table_[d] < cut) &&
-           (d_max < mid || log_alpha_table_[d_max] < cut);
-  };
-  const double cut_scale = (tau_frac - 0.5) * (4.0 / k);
+  // distance: the confinement test (scan::ConfinedFail) against the
+  // slacked log-alpha cut, the tail popcount for survivors, the exact
+  // table screen, then the estimator.
+  const double cut_scale = scan::CutScale(tau_frac, k);
   const auto finish = [&](size_t p, const uint64_t* row_i, double card_i,
                           size_t q, size_t d) {
     const double card_j = cards_by_row_[q];
-    const double la_cut =
-        cut_scale * (card_i + card_j) + 2.0 * log_beta_term_;
-    const double cut = la_cut - 1e-6 * (std::fabs(la_cut) + 1.0);
-    if (confined_fail(d, phase1_bits, cut)) return;
+    const double cut = scan::SlackedCut(cut_scale * (card_i + card_j) +
+                                        2.0 * log_beta_term_);
+    if (scan::ConfinedFail(log_alpha_table_, k, d, phase1_bits, cut)) return;
     if (split) {
       d += XorPopcount(row_i + phase1_words, matrix_.Row(q) + phase1_words,
                        words - phase1_words);

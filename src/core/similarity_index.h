@@ -80,6 +80,13 @@ struct QueryOptions {
   /// per candidate-bit — e.g. 2,000 candidates × k=6400 ≈ 100 MiB).
   /// Costs one extra pass at Rebuild; leave off for rebuild-only indexes.
   bool incremental = false;
+  /// Adaptive refresh: RefreshDirty() falls back to a full Rebuild() when
+  /// more than this fraction of the candidates is affected — past the
+  /// measured break-even (~50% dirty, bench/micro_ingest_path.cc) the
+  /// refresh bookkeeping costs more than re-extracting everything.
+  /// Results are bit-identical either way; only the time differs. Set
+  /// > 1 to force the incremental path always, ≤ 0 to always rebuild.
+  double refresh_fallback_fraction = 0.5;
 };
 
 /// Snapshot index over a candidate set of users.
@@ -131,7 +138,13 @@ class SimilarityIndex {
   /// Cost: O(m/64) for the word delta + O(k) per affected row + one
   /// row-copy pass, vs. Rebuild's O(k) hashes per candidate — ≥5× faster
   /// when ≤10% of candidates are affected (bench/micro_ingest_path.cc).
-  void RefreshDirty();
+  ///
+  /// Adaptive fallback: when the affected fraction exceeds
+  /// QueryOptions::refresh_fallback_fraction the call delegates to a full
+  /// Rebuild() of the same candidates (bit-identical result, cheaper past
+  /// the break-even). Returns true when the incremental path ran, false
+  /// when it fell back.
+  bool RefreshDirty();
 
   /// True once Rebuild() has captured incremental state (i.e.
   /// RefreshDirty() may be called).
@@ -159,8 +172,31 @@ class SimilarityIndex {
 
   size_t candidate_count() const { return candidates_.size(); }
 
+  /// The candidate set of the last Rebuild, in the caller's order.
+  const std::vector<UserId>& candidates() const { return candidates_; }
+
   /// β captured at the last Rebuild (exposed for diagnostics).
   double snapshot_beta() const { return beta_; }
+
+  /// VosEstimator::LogBetaTerm(snapshot_beta()) — the β log term every
+  /// estimate from this snapshot uses. The cross-shard query planner
+  /// combines two of these (core/query_planner.h).
+  double log_beta_term() const { return log_beta_term_; }
+
+  /// Matrix row of `user` (first occurrence among candidates), or npos.
+  /// The planner reads snapshot rows by user through this.
+  size_t RowIndexOf(UserId user) const { return RowOf(user); }
+
+  /// Cardinality snapshot of matrix row p (rows are cardinality-sorted).
+  uint32_t row_cardinality(size_t p) const { return cards_by_row_[p]; }
+
+  /// All row cardinalities in matrix-row order (non-decreasing); the
+  /// planner's cross-shard window search binary-searches this directly.
+  const std::vector<uint32_t>& row_cardinalities() const {
+    return cards_by_row_;
+  }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
 
   /// The packed digest snapshot (exposed for tests and diagnostics).
   /// Rows are stored in cardinality-sorted order — row p belongs to
@@ -204,7 +240,7 @@ class SimilarityIndex {
   /// Row index of `user` among the candidates, or npos.
   size_t RowOf(UserId user) const;
 
-  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  static constexpr size_t kNpos = npos;
 
   const VosSketch* sketch_;
   VosEstimator estimator_;

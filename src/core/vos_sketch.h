@@ -156,6 +156,16 @@ class VosSketch {
   /// SimilarityMethod::MemoryBits).
   size_t MemoryBits() const { return array_.MemoryBits(); }
 
+  /// Per-user bookkeeping bits: cardinality counters plus (when tracked)
+  /// dirty epochs. Excluded from MemoryBits() by the SimilarityMethod
+  /// convention above, but counted by sharded facades — whether this
+  /// state is allocated once per user or once per (user, shard) is real
+  /// memory the facade is accountable for
+  /// (see ShardedVosSketch::MemoryBits).
+  size_t PerUserStateBits() const {
+    return (cardinality_.size() + dirty_epoch_.size()) * sizeof(uint32_t) * 8;
+  }
+
   /// Merges another shard's sketch into this one (distributed ingestion).
   ///
   /// If the stream is partitioned across shards — every element processed

@@ -43,12 +43,16 @@ struct ExperimentConfig {
   /// (SimilarityMethod::SetQueryThreads; 0 = hardware concurrency).
   /// Metrics are bit-identical for every value.
   unsigned query_threads = 0;
-  /// Method sizing (base_k, λ, seeds, clamping) and ingest knobs
+  /// Method sizing (base_k, λ, seeds, clamping), ingest knobs
   /// (vos_shards, ingest_threads, ingest_batch — the latter also sets
   /// the replay batch size for both experiment entry points; metrics are
   /// identical for every value, since the default UpdateBatch is the
   /// element loop and batched methods quiesce via FlushIngest before
-  /// each checkpoint).
+  /// each checkpoint), and query-tier knobs (query_shards_local /
+  /// planner_threads: "VOS-sharded" checkpoints refresh shard-local
+  /// incremental indexes instead of re-extracting every tracked user;
+  /// estimates — and therefore all metrics — are bit-identical either
+  /// way).
   MethodFactoryConfig factory;
 };
 

@@ -68,9 +68,12 @@ StatusOr<std::unique_ptr<core::SimilarityMethod>> CreateMethod(
     sharded.batch_size = std::max<size_t>(1, config.ingest_batch);
     core::VosEstimatorOptions options;
     options.clamp_to_feasible = config.clamp;
+    core::ShardedQueryConfig query;
+    query.shards_local = config.query_shards_local;
+    query.planner_threads = config.planner_threads;
     return std::unique_ptr<core::SimilarityMethod>(
-        std::make_unique<core::ShardedVosMethod>(sharded, num_users,
-                                                 options));
+        std::make_unique<core::ShardedVosMethod>(sharded, num_users, options,
+                                                 query));
   }
   if (name == "MinHash") {
     baseline::MinHashConfig mh;

@@ -43,6 +43,17 @@ struct MethodFactoryConfig {
   /// Elements per auto-enqueued ingest batch for "VOS-sharded"'s
   /// per-element Update path.
   size_t ingest_batch = 4096;
+  /// "VOS-sharded" query tier: maintain shard-local incremental
+  /// SimilarityIndexes (core/query_planner.h) as the PrepareQuery cache.
+  /// Checkpoints after the first refresh only changed rows instead of
+  /// re-extracting every tracked user. Enables dirty tracking on the
+  /// shards (a small per-update cost), so it is off by default to keep
+  /// the Figure-2 update measurement at the paper's bare cost; estimates
+  /// are bit-identical either way.
+  bool query_shards_local = false;
+  /// Planner task-level worker threads for query_shards_local (0 =
+  /// hardware concurrency; SimilarityMethod::SetQueryThreads overrides).
+  unsigned planner_threads = 0;
 };
 
 /// Recognized names: "VOS", "VOS-sharded", "MinHash", "OPH", "OPH+rot",

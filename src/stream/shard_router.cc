@@ -18,4 +18,28 @@ void ShardRouter::Partition(const Element* elements, size_t count,
   }
 }
 
+DenseShardMap::DenseShardMap(const ShardRouter& router, UserId num_users)
+    : router_(router),
+      local_of_(num_users),
+      globals_(router.num_shards()) {
+  // Rank-order assignment: walking global ids in order hands each shard
+  // its users in increasing global id, so local ids are dense and the
+  // inverse table is built in the same pass.
+  for (UserId u = 0; u < num_users; ++u) {
+    std::vector<UserId>& members = globals_[router_.ShardOf(u)];
+    local_of_[u] = static_cast<UserId>(members.size());
+    members.push_back(u);
+  }
+}
+
+void DenseShardMap::Route(Element* elements, size_t count,
+                          uint16_t* tags) const {
+  for (size_t i = 0; i < count; ++i) {
+    const UserId user = elements[i].user;
+    VOS_DCHECK(user < local_of_.size()) << "user" << user << "out of range";
+    tags[i] = static_cast<uint16_t>(router_.ShardOf(user));
+    elements[i].user = local_of_[user];
+  }
+}
+
 }  // namespace vos::stream

@@ -73,4 +73,72 @@ class ShardRouter {
   uint64_t seed_;
 };
 
+/// Dense user remap on top of a ShardRouter: global id → (shard, dense
+/// local id), where a user's local id is its global-id rank among the
+/// users routed to the same shard.
+///
+/// Why it exists: a sharded sketch that keeps per-user state (cardinality
+/// counters, dirty epochs) in every shard pays ~8·S bytes/user when each
+/// shard is sized for the full user universe. Rewriting elements to dense
+/// local ids at routing time lets shard s size its state for exactly the
+/// users it owns — Σ_s |shard s| = |U|, so the total is ~8 bytes/user
+/// regardless of S (plus this map's own 8 bytes/user, counted by
+/// MemoryBits()).
+///
+/// The map is built once at construction from (router, num_users) alone —
+/// no stream-order dependence — so ingest pipelines (synchronous or
+/// worker-threaded) and query planners always agree on the translation,
+/// and shard state is deterministic for a given stream regardless of
+/// batching. Immutable after construction; all accessors are const and
+/// concurrent-safe.
+class DenseShardMap {
+ public:
+  /// An empty map (num_users() == 0); Route degenerates to tagging.
+  DenseShardMap() = default;
+
+  /// Builds the rank-order remap for users 0..num_users over `router`.
+  DenseShardMap(const ShardRouter& router, UserId num_users);
+
+  uint32_t num_shards() const { return router_.num_shards(); }
+  UserId num_users() const { return static_cast<UserId>(local_of_.size()); }
+
+  uint32_t ShardOf(UserId user) const { return router_.ShardOf(user); }
+
+  /// Dense local id of `user` within its shard.
+  UserId LocalOf(UserId user) const {
+    VOS_DCHECK(user < local_of_.size()) << "user" << user << "out of range";
+    return local_of_[user];
+  }
+
+  /// Inverse map: the global id owning local id `local` of `shard`.
+  UserId GlobalOf(uint32_t shard, UserId local) const {
+    VOS_DCHECK(shard < globals_.size() && local < globals_[shard].size())
+        << "slot (" << shard << "," << local << ") out of range";
+    return globals_[shard][local];
+  }
+
+  /// Users routed to `shard` (the size of its dense id space).
+  UserId shard_size(uint32_t shard) const {
+    return static_cast<UserId>(globals_[shard].size());
+  }
+
+  /// The ingest handoff: rewrites elements[i].user to its dense local id
+  /// and writes the owning shard into tags[0..count). After this call a
+  /// batch is expressed entirely in shard-local coordinates — workers
+  /// apply elements to their shards without further translation.
+  void Route(Element* elements, size_t count, uint16_t* tags) const;
+
+  /// Bits held by the map itself (forward + inverse tables): 64·num_users.
+  size_t MemoryBits() const {
+    return (local_of_.size() + local_of_.size()) * sizeof(UserId) * 8;
+  }
+
+ private:
+  ShardRouter router_{1, 0};
+  /// local_of_[u] = dense local id of u within shard ShardOf(u).
+  std::vector<UserId> local_of_;
+  /// globals_[s][l] = global id of shard s's local id l.
+  std::vector<std::vector<UserId>> globals_;
+};
+
 }  // namespace vos::stream

@@ -112,6 +112,10 @@ TEST(RefreshDirtyTest, BitIdenticalToRebuildAcrossDirtyFractionsAndThreads) {
     QueryOptions incremental_options;
     incremental_options.num_threads = threads;
     incremental_options.incremental = true;
+    // Force the incremental path at every fraction — the adaptive
+    // fallback (covered by AdaptiveRefreshTest below) would otherwise
+    // turn the 50%/100% rounds into plain Rebuilds.
+    incremental_options.refresh_fallback_fraction = 2.0;
     SimilarityIndex refreshed(sketch, {}, incremental_options);
     refreshed.Rebuild(candidates);
     EXPECT_TRUE(refreshed.CanRefresh());
@@ -123,7 +127,8 @@ TEST(RefreshDirtyTest, BitIdenticalToRebuildAcrossDirtyFractionsAndThreads) {
     ItemId next_item = 1 << 29;
     for (const double fraction : {0.0, 0.01, 0.5, 1.0}) {
       Churn(&sketch, candidates, fraction, &next_item);
-      refreshed.RefreshDirty();
+      EXPECT_TRUE(refreshed.RefreshDirty())
+          << "fallback disabled yet RefreshDirty claims it rebuilt";
       rebuilt.Rebuild(candidates);
       ExpectIndexesIdentical(
           refreshed, rebuilt,
@@ -131,6 +136,77 @@ TEST(RefreshDirtyTest, BitIdenticalToRebuildAcrossDirtyFractionsAndThreads) {
               " fraction=" + std::to_string(fraction));
     }
   }
+}
+
+// ------------------------------------------------------- adaptive refresh
+
+TEST(AdaptiveRefreshTest, FallsBackToRebuildPastBreakEvenFraction) {
+  VosSketch sketch = PopulatedSketch(SmallConfig(1 << 14), 60, 40, 41);
+  std::vector<UserId> candidates;
+  for (UserId u = 0; u < 60; ++u) candidates.push_back(u);
+  QueryOptions options;
+  options.num_threads = 1;
+  options.incremental = true;  // default fallback fraction: 0.5
+  SimilarityIndex index(sketch, {}, options);
+  index.Rebuild(candidates);
+  SimilarityIndex rebuilt(sketch, {}, QueryOptions{});
+
+  // A handful of dirty candidates: well under the break-even, so the
+  // incremental path must run.
+  ItemId next_item = 1 << 29;
+  sketch.Update({3, next_item++, Action::kInsert});
+  sketch.Update({9, next_item++, Action::kInsert});
+  EXPECT_TRUE(index.RefreshDirty());
+  rebuilt.Rebuild(candidates);
+  ExpectIndexesIdentical(index, rebuilt, "small dirty fraction");
+
+  // Touch every candidate: past the break-even, the call must delegate
+  // to a full Rebuild — and stay bit-identical.
+  for (UserId u = 0; u < 60; ++u) {
+    sketch.Update({u, next_item++, Action::kInsert});
+  }
+  EXPECT_FALSE(index.RefreshDirty());
+  rebuilt.Rebuild(candidates);
+  ExpectIndexesIdentical(index, rebuilt, "full dirty fraction");
+
+  // The fallback re-captures incremental state: refreshing again works.
+  sketch.Update({5, next_item++, Action::kInsert});
+  EXPECT_TRUE(index.CanRefresh());
+  EXPECT_TRUE(index.RefreshDirty());
+  rebuilt.Rebuild(candidates);
+  ExpectIndexesIdentical(index, rebuilt, "refresh after fallback");
+}
+
+TEST(AdaptiveRefreshTest, FractionOverrideControlsTheBreakEven) {
+  VosSketch sketch = PopulatedSketch(SmallConfig(1 << 14), 30, 30, 43);
+  std::vector<UserId> candidates;
+  for (UserId u = 0; u < 30; ++u) candidates.push_back(u);
+
+  // Zero threshold: any affected candidate forces the rebuild path.
+  QueryOptions always_rebuild;
+  always_rebuild.num_threads = 1;
+  always_rebuild.incremental = true;
+  always_rebuild.refresh_fallback_fraction = 0.0;
+  SimilarityIndex eager(sketch, {}, always_rebuild);
+  eager.Rebuild(candidates);
+  ItemId next_item = 1 << 29;
+  sketch.Update({0, next_item++, Action::kInsert});
+  EXPECT_FALSE(eager.RefreshDirty());
+  // Nothing affected is still a (trivial) incremental refresh.
+  EXPECT_TRUE(eager.RefreshDirty());
+
+  // Above-one threshold: never falls back, even at 100% dirty.
+  QueryOptions never_rebuild = always_rebuild;
+  never_rebuild.refresh_fallback_fraction = 1.5;
+  SimilarityIndex sticky(sketch, {}, never_rebuild);
+  sticky.Rebuild(candidates);
+  for (UserId u = 0; u < 30; ++u) {
+    sketch.Update({u, next_item++, Action::kInsert});
+  }
+  EXPECT_TRUE(sticky.RefreshDirty());
+  SimilarityIndex rebuilt(sketch, {}, QueryOptions{});
+  rebuilt.Rebuild(candidates);
+  ExpectIndexesIdentical(sticky, rebuilt, "forced incremental at 100%");
 }
 
 TEST(RefreshDirtyTest, NoChangesIsANoOpSnapshot) {

@@ -1,7 +1,10 @@
 // Cross-method conformance suite: every SimilarityMethod the factory can
 // build must satisfy the same behavioural contract. Parameterized over all
-// registered method names, so adding a method to the factory automatically
-// subjects it to this suite.
+// registered method names — so adding a method to the factory
+// automatically subjects it to this suite — plus a dedicated
+// "VOS-sharded" configuration matrix (shards × ingest threads × planner
+// mode), so the sharded engine honours the contract in every pipeline
+// mode, not just the factory default.
 
 #include <gtest/gtest.h>
 
@@ -29,10 +32,60 @@ MethodFactoryConfig SmallFactory() {
   return config;
 }
 
-class MethodConformanceTest : public ::testing::TestWithParam<std::string> {
+/// One conformance case: a factory method name plus the factory knobs it
+/// runs under (only "VOS-sharded" varies them).
+struct MethodCase {
+  std::string name;
+  uint32_t vos_shards = 4;
+  unsigned ingest_threads = 0;
+  bool query_shards_local = false;
+  std::string label;  ///< gtest-safe test-name suffix
+};
+
+std::vector<MethodCase> DefaultCases() {
+  std::vector<MethodCase> cases;
+  for (const std::string& name : AllMethods()) {
+    MethodCase c;
+    c.name = name;
+    c.label = name;
+    for (char& ch : c.label) {
+      if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+/// The sharded contract matrix: shards ∈ {1, 4} × ingest_threads ∈ {0, 2},
+/// plus the shard-local planner query tier on the fully sharded +
+/// threaded configuration.
+std::vector<MethodCase> ShardedMatrixCases() {
+  std::vector<MethodCase> cases;
+  for (const uint32_t shards : {1u, 4u}) {
+    for (const unsigned threads : {0u, 2u}) {
+      for (const bool planner : {false, true}) {
+        MethodCase c;
+        c.name = "VOS-sharded";
+        c.vos_shards = shards;
+        c.ingest_threads = threads;
+        c.query_shards_local = planner;
+        c.label = "VOS_sharded_s" + std::to_string(shards) + "_t" +
+                  std::to_string(threads) + (planner ? "_planner" : "");
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+class MethodConformanceTest : public ::testing::TestWithParam<MethodCase> {
  protected:
   std::unique_ptr<SimilarityMethod> Make() {
-    auto method = CreateMethod(GetParam(), SmallFactory());
+    MethodFactoryConfig config = SmallFactory();
+    config.vos_shards = GetParam().vos_shards;
+    config.ingest_threads = GetParam().ingest_threads;
+    config.query_shards_local = GetParam().query_shards_local;
+    auto method = CreateMethod(GetParam().name, config);
     VOS_CHECK(method.ok()) << method.status().ToString();
     return *std::move(method);
   }
@@ -51,6 +104,7 @@ TEST_P(MethodConformanceTest, MemoryIsPositiveAndUpdateIndependent) {
   for (ItemId i = 0; i < 500; ++i) {
     method->Update({static_cast<UserId>(i % 8), i, Action::kInsert});
   }
+  method->FlushIngest();
   EXPECT_EQ(method->MemoryBits(), before)
       << "sketches must be fixed-size (that is the point)";
 }
@@ -66,12 +120,13 @@ TEST_P(MethodConformanceTest, IdenticalLargeSetsScoreHigh) {
   // RP is excluded: its per-slot match probability is s/(n_u·n_v) ≈ 0.25%
   // here, so a single instance legitimately estimates 0 (it is unbiased
   // only on average — covered by RandomPairingTest.EstimateIsUnbiased...).
-  if (GetParam() == "RP") GTEST_SKIP() << "RP is high-variance by design";
+  if (GetParam().name == "RP") GTEST_SKIP() << "RP is high-variance by design";
   auto method = Make();
   for (ItemId i = 0; i < 400; ++i) {
     method->Update({0, i, Action::kInsert});
     method->Update({1, i, Action::kInsert});
   }
+  method->FlushIngest();
   const PairEstimate est = method->EstimatePair(0, 1);
   EXPECT_GT(est.jaccard, 0.8);
   EXPECT_GT(est.common, 256.0);
@@ -83,6 +138,7 @@ TEST_P(MethodConformanceTest, DisjointLargeSetsScoreLow) {
     method->Update({0, i, Action::kInsert});
     method->Update({1, 50000 + i, Action::kInsert});
   }
+  method->FlushIngest();
   const PairEstimate est = method->EstimatePair(0, 1);
   EXPECT_LT(est.jaccard, 0.2);
   EXPECT_LT(est.common, 80.0);
@@ -101,6 +157,7 @@ TEST_P(MethodConformanceTest, EstimatesStayInFeasibleRange) {
     if (e.action == Action::kInsert) ++cards[e.user];
     else --cards[e.user];
   }
+  method->FlushIngest();
   for (UserId u = 0; u < 8; ++u) {
     for (UserId v = u + 1; v < 8; ++v) {
       const PairEstimate est = method->EstimatePair(u, v);
@@ -126,6 +183,7 @@ TEST_P(MethodConformanceTest, FullChurnReturnsToZero) {
     method->Update({0, i, Action::kDelete});
     method->Update({1, i, Action::kDelete});
   }
+  method->FlushIngest();
   const PairEstimate est = method->EstimatePair(0, 1);
   EXPECT_DOUBLE_EQ(est.common, 0.0);
 }
@@ -136,6 +194,7 @@ TEST_P(MethodConformanceTest, PrepareQueryDoesNotChangeEstimates) {
     method->Update({0, i, Action::kInsert});
     method->Update({1, i < 150 ? i : i + 9000, Action::kInsert});
   }
+  method->FlushIngest();
   const PairEstimate plain = method->EstimatePair(0, 1);
   method->PrepareQuery({0, 1});
   const PairEstimate cached = method->EstimatePair(0, 1);
@@ -156,6 +215,8 @@ TEST_P(MethodConformanceTest, DeterministicAcrossInstances) {
     a->Update(e);
     b->Update(e);
   }
+  a->FlushIngest();
+  b->FlushIngest();
   for (UserId u = 0; u < 6; ++u) {
     for (UserId v = u + 1; v < 6; ++v) {
       EXPECT_DOUBLE_EQ(a->EstimatePair(u, v).common,
@@ -165,15 +226,12 @@ TEST_P(MethodConformanceTest, DeterministicAcrossInstances) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMethods, MethodConformanceTest,
-                         ::testing::ValuesIn(AllMethods()),
-                         [](const auto& info) {
-                           std::string name = info.param;
-                           for (char& c : name) {
-                             if (!std::isalnum(static_cast<unsigned char>(c)))
-                               c = '_';
-                           }
-                           return name;
-                         });
+                         ::testing::ValuesIn(DefaultCases()),
+                         [](const auto& info) { return info.param.label; });
+
+INSTANTIATE_TEST_SUITE_P(ShardedMatrix, MethodConformanceTest,
+                         ::testing::ValuesIn(ShardedMatrixCases()),
+                         [](const auto& info) { return info.param.label; });
 
 }  // namespace
 }  // namespace vos::harness

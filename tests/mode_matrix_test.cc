@@ -1,13 +1,18 @@
-// Parameter-matrix property tests: digest width b for b-bit minwise, and
-// the exact-permutation (Feistel) mode across the min-wise baselines.
+// Parameter-matrix property tests: digest width b for b-bit minwise, the
+// exact-permutation (Feistel) mode across the min-wise baselines, and the
+// "VOS-sharded" pipeline matrix (shards × ingest threads).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <tuple>
 
 #include "baselines/bbit_minwise.h"
 #include "baselines/minhash.h"
 #include "baselines/oph.h"
+#include "harness/method_factory.h"
+#include "stream/dataset.h"
 
 namespace vos::baseline {
 namespace {
@@ -100,3 +105,85 @@ INSTANTIATE_TEST_SUITE_P(Modes, FeistelModeTest,
 
 }  // namespace
 }  // namespace vos::baseline
+
+namespace vos::harness {
+namespace {
+
+using core::PairEstimate;
+using stream::Action;
+using stream::Element;
+using stream::UserId;
+
+/// "VOS-sharded" across the (shards, ingest_threads) matrix: whatever the
+/// pipeline mode, the method must land on the deterministic synchronous
+/// single-routing state — same estimates as the (shards, 0) twin — and
+/// track truth to sketch accuracy.
+class ShardedModeMatrixTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, unsigned>> {
+ protected:
+  static std::unique_ptr<core::SimilarityMethod> Make(uint32_t shards,
+                                                      unsigned threads) {
+    MethodFactoryConfig config;
+    config.base_k = 100;
+    config.num_users = 48;
+    config.num_items = 100000;
+    config.seed = 53;
+    config.vos_shards = shards;
+    config.ingest_threads = threads;
+    config.ingest_batch = 64;  // many batches through the pipeline
+    auto method = CreateMethod("VOS-sharded", config);
+    VOS_CHECK(method.ok()) << method.status().ToString();
+    return *std::move(method);
+  }
+};
+
+TEST_P(ShardedModeMatrixTest, PipelineModeDoesNotChangeEstimates) {
+  const auto [shards, threads] = GetParam();
+  auto method = Make(shards, threads);
+  auto reference = Make(shards, 0);  // synchronous routing: ground truth
+  auto stream = stream::GenerateDatasetByName("unit");
+  ASSERT_TRUE(stream.ok());
+  for (const Element& e : stream->elements()) {
+    if (e.user >= 48) continue;
+    method->Update(e);
+    reference->Update(e);
+  }
+  method->FlushIngest();
+  reference->FlushIngest();
+  for (UserId u = 0; u < 12; ++u) {
+    for (UserId v = u + 1; v < 12; ++v) {
+      const PairEstimate got = method->EstimatePair(u, v);
+      const PairEstimate want = reference->EstimatePair(u, v);
+      EXPECT_EQ(got.common, want.common)
+          << "shards=" << shards << " threads=" << threads << " pair=("
+          << u << "," << v << ")";
+      EXPECT_EQ(got.jaccard, want.jaccard);
+    }
+  }
+}
+
+TEST_P(ShardedModeMatrixTest, TracksPlantedOverlap) {
+  const auto [shards, threads] = GetParam();
+  auto method = Make(shards, threads);
+  // 200 shared of 300 items each: J = 200/400 = 0.5.
+  for (uint32_t i = 0; i < 300; ++i) {
+    method->Update({0, i, Action::kInsert});
+    method->Update({1, i < 200 ? i : i + 50000, Action::kInsert});
+  }
+  method->FlushIngest();
+  const PairEstimate est = method->EstimatePair(0, 1);
+  EXPECT_NEAR(est.common, 200.0, 60.0)
+      << "shards=" << shards << " threads=" << threads;
+  EXPECT_NEAR(est.jaccard, 0.5, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardThreadMatrix, ShardedModeMatrixTest,
+    ::testing::Combine(::testing::Values(1u, 4u), ::testing::Values(0u, 2u)),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace vos::harness

@@ -81,6 +81,42 @@ TEST(ShardRouterTest, DeterministicAndComplete) {
   }
 }
 
+TEST(DenseShardMapTest, RankOrderAssignmentRoundTrips) {
+  const ShardRouter router(4, 99);
+  const stream::DenseShardMap map(router, 1000);
+  ASSERT_EQ(map.num_shards(), 4u);
+  ASSERT_EQ(map.num_users(), 1000u);
+  UserId total = 0;
+  for (uint32_t s = 0; s < 4; ++s) total += map.shard_size(s);
+  EXPECT_EQ(total, 1000u) << "every user lives in exactly one shard";
+  std::vector<UserId> next_local(4, 0);
+  for (UserId u = 0; u < 1000; ++u) {
+    const uint32_t s = map.ShardOf(u);
+    EXPECT_EQ(s, router.ShardOf(u));
+    // Rank-order: local ids are dense and increase with the global id.
+    EXPECT_EQ(map.LocalOf(u), next_local[s]++);
+    EXPECT_EQ(map.GlobalOf(s, map.LocalOf(u)), u) << "user " << u;
+  }
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(next_local[s], map.shard_size(s));
+  }
+}
+
+TEST(DenseShardMapTest, RouteRewritesToLocalsAndTags) {
+  const ShardRouter router(3, 7);
+  const stream::DenseShardMap map(router, 50);
+  std::vector<Element> elements = DynamicStream(50, 300, 3);
+  const std::vector<Element> originals = elements;
+  std::vector<uint16_t> tags(elements.size());
+  map.Route(elements.data(), elements.size(), tags.data());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    EXPECT_EQ(tags[i], router.ShardOf(originals[i].user));
+    EXPECT_EQ(elements[i].user, map.LocalOf(originals[i].user));
+    EXPECT_EQ(elements[i].item, originals[i].item);
+    EXPECT_EQ(elements[i].action, originals[i].action);
+  }
+}
+
 TEST(ShardRouterTest, PartitionAndTagAgreeWithShardOf) {
   const ShardRouter router(3, 7);
   const std::vector<Element> elements = DynamicStream(50, 500, 3);
@@ -161,9 +197,10 @@ TEST(ShardedVosSketchTest, OneShardMatchesPlainVosSketchBitForBit) {
 }
 
 /// The tentpole equivalence: for every shard count, each shard's state is
-/// bit-identical to a standalone VosSketch (same ShardConfig) fed only
-/// the routed sub-stream — and therefore same-shard pair estimates equal
-/// the standalone estimates exactly.
+/// bit-identical to a standalone VosSketch (same ShardConfig, sized for
+/// the shard's dense local id space) fed the routed sub-stream rewritten
+/// to dense local ids — and therefore same-shard pair estimates equal the
+/// standalone estimates exactly.
 TEST(ShardedVosSketchTest, ShardsMatchIndependentSketchesOnRoutedSubstreams) {
   const UserId users = 60;
   const std::vector<Element> elements = DynamicStream(users, 4000, 33);
@@ -172,23 +209,28 @@ TEST(ShardedVosSketchTest, ShardsMatchIndependentSketchesOnRoutedSubstreams) {
     ShardedVosSketch sharded(config, users);
     sharded.UpdateBatch(elements.data(), elements.size());
 
-    // Independent references: one standalone sketch per shard, fed the
-    // routed sub-stream.
+    // Independent references: one standalone sketch per shard — sized
+    // for that shard's users only — fed the routed sub-stream in
+    // shard-local coordinates.
     std::vector<VosSketch> references;
     for (uint32_t s = 0; s < shards; ++s) {
       references.emplace_back(ShardedVosSketch::ShardConfig(config, s),
-                              users);
+                              sharded.ShardUserCount(s));
     }
     for (const Element& e : elements) {
-      references[sharded.ShardOf(e.user)].Update(e);
+      Element local = e;
+      local.user = sharded.LocalIdOf(e.user);
+      references[sharded.ShardOf(e.user)].Update(local);
     }
     for (uint32_t s = 0; s < shards; ++s) {
       EXPECT_TRUE(sharded.shard(s).array() == references[s].array())
           << "shards=" << shards << " shard=" << s;
-      for (UserId u = 0; u < users; ++u) {
-        EXPECT_EQ(sharded.shard(s).Cardinality(u),
-                  references[s].Cardinality(u));
-      }
+    }
+    for (UserId u = 0; u < users; ++u) {
+      EXPECT_EQ(sharded.Cardinality(u),
+                references[sharded.ShardOf(u)].Cardinality(
+                    sharded.LocalIdOf(u)))
+          << "user " << u;
     }
 
     // Same-shard pair estimates are bit-identical to the standalone
@@ -200,12 +242,14 @@ TEST(ShardedVosSketchTest, ShardsMatchIndependentSketchesOnRoutedSubstreams) {
         if (sharded.ShardOf(u) != sharded.ShardOf(v)) continue;
         ++same_shard_pairs;
         const VosSketch& ref = references[sharded.ShardOf(u)];
-        const BitVector du = ref.ExtractUserSketch(u);
-        const BitVector dv = ref.ExtractUserSketch(v);
+        const BitVector du = ref.ExtractUserSketch(sharded.LocalIdOf(u));
+        const BitVector dv = ref.ExtractUserSketch(sharded.LocalIdOf(v));
         const double alpha =
             static_cast<double>(du.HammingDistance(dv)) / config.base.k;
-        const PairEstimate expected = estimator.Estimate(
-            ref.Cardinality(u), ref.Cardinality(v), alpha, ref.beta());
+        const PairEstimate expected =
+            estimator.Estimate(ref.Cardinality(sharded.LocalIdOf(u)),
+                               ref.Cardinality(sharded.LocalIdOf(v)), alpha,
+                               ref.beta());
         const PairEstimate actual = sharded.EstimatePair(u, v);
         EXPECT_EQ(actual.common, expected.common)
             << "shards=" << shards << " pair=(" << u << "," << v << ")";
@@ -214,6 +258,38 @@ TEST(ShardedVosSketchTest, ShardsMatchIndependentSketchesOnRoutedSubstreams) {
     }
     EXPECT_GT(same_shard_pairs, 0u);
   }
+}
+
+TEST(ShardedVosSketchTest, MemoryBitsIndependentOfShardCountAndUpdates) {
+  // The dense remap is the point: per-user state must NOT scale with S.
+  // m divisible by 64·S so per-shard word rounding cannot differ.
+  const UserId users = 512;
+  const auto total_bits = [&](uint32_t shards) {
+    ShardedVosConfig config = TestConfig(shards, 0, /*k=*/256,
+                                         /*m=*/uint64_t{1} << 16);
+    ShardedVosSketch sketch(config, users);
+    return sketch.MemoryBits();
+  };
+  const size_t at2 = total_bits(2);
+  EXPECT_EQ(at2, total_bits(4));
+  EXPECT_EQ(at2, total_bits(8));
+  // The S=1 fast path skips the remap tables (64 bits/user); everything
+  // else — arrays, counters, epochs — matches.
+  EXPECT_EQ(total_bits(1) + users * 64u, at2);
+
+  // Fixed-size: ingesting must not change the reported memory.
+  ShardedVosConfig config = TestConfig(4, 0, 256, uint64_t{1} << 16);
+  ShardedVosSketch sketch(config, users);
+  const size_t before = sketch.MemoryBits();
+  const std::vector<Element> elements = DynamicStream(users, 3000, 17);
+  sketch.UpdateBatch(elements.data(), elements.size());
+  EXPECT_EQ(sketch.MemoryBits(), before);
+
+  // And the per-user counters/epochs are no longer invisible: the total
+  // exceeds the arrays alone.
+  size_t arrays = 0;
+  for (uint32_t s = 0; s < 4; ++s) arrays += sketch.shard(s).MemoryBits();
+  EXPECT_GT(before, arrays);
 }
 
 /// The async pipeline must land on exactly the synchronous pipeline's
@@ -237,11 +313,10 @@ TEST(ShardedVosSketchTest, AsyncPipelineMatchesSynchronousForAllThreadCounts) {
         EXPECT_TRUE(sharded.shard(s).array() == reference.shard(s).array())
             << "shards=" << shards << " threads=" << threads
             << " shard=" << s;
-        for (UserId u = 0; u < users; ++u) {
-          ASSERT_EQ(sharded.shard(s).Cardinality(u),
-                    reference.shard(s).Cardinality(u))
-              << "shards=" << shards << " threads=" << threads;
-        }
+      }
+      for (UserId u = 0; u < users; ++u) {
+        ASSERT_EQ(sharded.Cardinality(u), reference.Cardinality(u))
+            << "shards=" << shards << " threads=" << threads;
       }
     }
   }
