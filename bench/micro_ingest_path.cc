@@ -5,12 +5,17 @@
 // `for (e : stream) Update(e)` loop vs. ShardedVosSketch at growing shard
 // counts, both synchronous (routing inline, no workers — isolates the
 // per-shard locality win: each shard's array is m/S bits) and
-// asynchronous (tagged batches drained by per-shard workers — the
-// near-linear-scaling configuration on multi-core hosts; on a single
-// hardware thread the async numbers degenerate to the sync ones plus
-// queue overhead, which the banner calls out). Shard state is verified
-// identical between the sync and async pipelines before timing is
-// reported.
+// asynchronous (shard-partitioned sub-batches drained by per-shard
+// workers — the near-linear-scaling configuration on multi-core hosts;
+// on a single hardware thread the async numbers degenerate to the sync
+// ones plus queue overhead, which the banner calls out). A second
+// multi-producer pass ("sharded-async-p" rows) holds the shard count at
+// --shards and scales producer lanes 1 → --producers: each lane routes
+// its own per-user sub-stream through its own (producer, shard) queues,
+// so async throughput scales with the producer count instead of
+// flat-lining on a single producer's routing pass. Shard state is
+// verified identical to synchronous routing of the same per-producer
+// streams before any timing is reported.
 //
 // Phase "index": SimilarityIndex::Rebuild (full re-extraction) vs.
 // RefreshDirty (dirty users + array-word delta only) at dirty fractions
@@ -20,8 +25,9 @@
 // ≤10% dirty.
 //
 // Run: ./build/micro_ingest_path [--users=100000] [--edges_per_user=20]
-//      [--k=6400] [--m=33554432] [--shards=4] [--batch=16384]
-//      [--candidates=1000] [--repeats=3] [--csv=out.csv] [--json=out.json]
+//      [--k=6400] [--m=33554432] [--shards=4] [--producers=4]
+//      [--batch=16384] [--candidates=1000] [--repeats=3] [--csv=out.csv]
+//      [--json=out.json]
 
 #include <algorithm>
 #include <cstring>
@@ -128,13 +134,15 @@ int main(int argc, char** argv) {
   const Flags flags = ParseFlagsOrDie(
       argc, argv,
       "[--users=N] [--edges_per_user=N] [--k=N] [--m=N] [--shards=N] "
-      "[--batch=N] [--candidates=N] [--repeats=N] [--seed=N] [--csv=path] "
-      "[--json=path]");
+      "[--producers=N] [--batch=N] [--candidates=N] [--repeats=N] "
+      "[--seed=N] [--csv=path] [--json=path]");
   const auto users = static_cast<UserId>(flags.GetInt("users", 100000));
   const auto edges_per_user =
       static_cast<size_t>(flags.GetInt("edges_per_user", 20));
   const auto max_shards =
       static_cast<uint32_t>(flags.GetInt("shards", 4));
+  const auto max_producers = std::max<unsigned>(
+      1, static_cast<unsigned>(flags.GetInt("producers", 4)));
   const auto batch = static_cast<size_t>(flags.GetInt("batch", 16384));
   const auto num_candidates =
       static_cast<size_t>(flags.GetInt("candidates", 1000));
@@ -163,20 +171,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.m));
 
   const std::vector<std::string> header = {
-      "phase",   "engine", "shards", "threads",    "seconds",
+      "phase",      "engine", "shards", "producers", "threads", "seconds",
       "throughput", "unit",   "speedup"};
   TablePrinter table(header);
   std::vector<std::vector<std::string>> rows;
   auto emit = [&](const std::string& phase, const std::string& engine,
-                  uint32_t shards, unsigned threads, double seconds,
-                  double throughput, const std::string& unit,
+                  uint32_t shards, unsigned producers, unsigned threads,
+                  double seconds, double throughput, const std::string& unit,
                   double speedup) {
     std::vector<std::string> row = {phase,
                                     engine,
                                     TablePrinter::FormatInt(shards),
+                                    TablePrinter::FormatInt(producers),
                                     TablePrinter::FormatInt(threads),
                                     TablePrinter::FormatDouble(seconds, 4),
-                                    TablePrinter::FormatDouble(throughput, 0),
+                                    TablePrinter::FormatDouble(throughput, 4),
                                     unit,
                                     TablePrinter::FormatDouble(speedup, 3)};
     table.AddRow(row);
@@ -188,7 +197,7 @@ int main(int argc, char** argv) {
     VosSketch sketch(config, users);
     for (const Element& e : elements) sketch.Update(e);
   });
-  emit("ingest", "serial", 1, 1, serial_seconds,
+  emit("ingest", "serial", 1, 1, 1, serial_seconds,
        num_updates / serial_seconds, "updates/s", 1.0);
 
   double async_1shard_seconds = 0.0;
@@ -212,7 +221,7 @@ int main(int argc, char** argv) {
       reference.UpdateBatch(elements.data() + t,
                             std::min(batch, elements.size() - t));
     }
-    emit("ingest", "sharded-sync", shards, 1, sync_seconds,
+    emit("ingest", "sharded-sync", shards, 1, 1, sync_seconds,
          num_updates / sync_seconds, "updates/s",
          serial_seconds / sync_seconds);
 
@@ -235,9 +244,73 @@ int main(int argc, char** argv) {
     }
     if (shards == 1) async_1shard_seconds = async_seconds;
     async_max_shards_seconds = async_seconds;
-    emit("ingest", "sharded-async", shards, shards, async_seconds,
+    emit("ingest", "sharded-async", shards, 1, shards, async_seconds,
          num_updates / async_seconds, "updates/s",
          serial_seconds / async_seconds);
+  }
+
+  // -------------------------------------------------- ingest, multi-producer
+  // Producer scaling at the full shard count: P lanes, each feeding its
+  // own per-user sub-stream (user % P keeps every user's history — and
+  // therefore feasibility — on one lane) through its own
+  // (producer, shard) queues. The P=1 row is the single-producer async
+  // baseline the acceptance target compares against.
+  double async_1producer_seconds = 0.0;
+  double async_max_producers_seconds = 0.0;
+  unsigned producers_measured = 1;
+  for (unsigned producers = 1; producers <= max_producers; producers *= 2) {
+    std::vector<std::vector<Element>> lanes(producers);
+    for (auto& lane : lanes) lane.reserve(elements.size() / producers + 1);
+    for (const Element& e : elements) {
+      lanes[e.user % producers].push_back(e);
+    }
+
+    ShardedVosConfig sharded;
+    sharded.base = config;
+    sharded.num_shards = max_shards;
+    sharded.batch_size = batch;
+    sharded.ingest_threads = max_shards;
+    sharded.ingest_producers = producers;
+
+    // Reference: synchronous routing of the same per-producer streams
+    // (the state every timed repeat must land on bit-for-bit).
+    ShardedVosConfig sync_config = sharded;
+    sync_config.ingest_threads = 0;
+    ShardedVosSketch reference(sync_config, users);
+    for (const std::vector<Element>& lane : lanes) {
+      reference.UpdateBatch(lane.data(), lane.size());
+    }
+
+    double mp_seconds = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      ShardedVosSketch sketch(sharded, users);
+      WallTimer timer;
+      {
+        std::vector<std::thread> producer_threads;
+        producer_threads.reserve(producers);
+        for (unsigned p = 0; p < producers; ++p) {
+          producer_threads.emplace_back([&, p] {
+            const std::vector<Element>& lane = lanes[p];
+            for (size_t t = 0; t < lane.size(); t += batch) {
+              sketch.UpdateBatch(lane.data() + t,
+                                 std::min(batch, lane.size() - t), p);
+            }
+            sketch.FlushProducer(p);
+          });
+        }
+        for (std::thread& t : producer_threads) t.join();
+      }
+      sketch.Flush();
+      const double elapsed = timer.ElapsedSeconds();
+      if (r == 0 || elapsed < mp_seconds) mp_seconds = elapsed;
+      CheckShardsIdentical(sketch, reference);
+    }
+    if (producers == 1) async_1producer_seconds = mp_seconds;
+    async_max_producers_seconds = mp_seconds;
+    producers_measured = producers;
+    emit("ingest", "sharded-async-p", max_shards, producers,
+         max_shards + producers, mp_seconds, num_updates / mp_seconds,
+         "updates/s", serial_seconds / mp_seconds);
   }
 
   // --------------------------------------------------------------- index
@@ -271,7 +344,7 @@ int main(int argc, char** argv) {
   const double full_rebuild_seconds = BestSeconds(repeats, [&] {
     full_index.Rebuild(candidates);
   });
-  emit("index", "rebuild", 1, 1, full_rebuild_seconds,
+  emit("index", "rebuild", 1, 1, 1, full_rebuild_seconds,
        candidates.size() / full_rebuild_seconds, "rows/s", 1.0);
 
   ItemId next_item = static_cast<ItemId>(elements.size()) + 1000;
@@ -296,7 +369,7 @@ int main(int argc, char** argv) {
     }
     const double speedup = full_rebuild_seconds / refresh_seconds;
     if (frac == 0.10) speedup_at_10pct = speedup;
-    emit("index", "refresh-" + TablePrinter::FormatDouble(frac, 2), 1, 1,
+    emit("index", "refresh-" + TablePrinter::FormatDouble(frac, 2), 1, 1, 1,
          refresh_seconds, candidates.size() / refresh_seconds, "rows/s",
          speedup);
   }
@@ -304,9 +377,9 @@ int main(int argc, char** argv) {
   EmitTable(flags, table, header, rows);
   MaybeEmitJson(flags, "micro_ingest_path", header, rows);
 
-  std::printf("\nall sharded pipelines verified identical to synchronous "
-              "routing; every RefreshDirty verified bit-identical to a "
-              "full Rebuild.\n");
+  std::printf("\nall sharded pipelines (single- and multi-producer) "
+              "verified identical to synchronous routing; every "
+              "RefreshDirty verified bit-identical to a full Rebuild.\n");
   std::printf("async ingest scaling 1 -> %u shards: %.2fx (needs >= %u "
               "hardware threads to be meaningful) | RefreshDirty speedup "
               "at 10%% dirty: %.2fx (target >= 5x)\n",
@@ -315,5 +388,14 @@ int main(int argc, char** argv) {
                   ? async_1shard_seconds / async_max_shards_seconds
                   : 0.0,
               max_shards, speedup_at_10pct);
+  std::printf("multi-producer scaling 1 -> %u producers at %u shards: "
+              "%.2fx (target >= 2x at S >= 4; needs >= %u hardware "
+              "threads — producers + shard workers — to be meaningful)\n",
+              producers_measured,
+              max_shards,
+              async_max_producers_seconds > 0.0
+                  ? async_1producer_seconds / async_max_producers_seconds
+                  : 0.0,
+              max_shards + producers_measured);
   return 0;
 }

@@ -40,10 +40,14 @@ inline bool PairBefore(const SimilarityIndex::Pair& a,
 
 /// Runs `work(i)` for every i in [0, count) across `threads` workers
 /// pulling ids from a shared counter (dynamic balancing for triangular /
-/// mixed-cost workloads). Callers merge per-unit outputs in unit order,
-/// so results are independent of the schedule.
+/// mixed-cost workloads). `threads` is clamped to ≥ 1 here — callers
+/// normally pass ResolveThreadCount output, but an unclamped 0 would
+/// underflow the unsigned pool reservation below to ~4e9. Callers merge
+/// per-unit outputs in unit order, so results are independent of the
+/// schedule.
 template <typename Work>
 void RunIndexed(unsigned threads, size_t count, const Work& work) {
+  if (threads == 0) threads = 1;
   std::atomic<size_t> next{0};
   const auto worker = [&] {
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;

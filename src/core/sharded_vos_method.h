@@ -64,7 +64,20 @@ class ShardedVosMethod : public SimilarityMethod {
   void UpdateBatch(const Element* elements, size_t count) override {
     sketch_.UpdateBatch(elements, count);
   }
+  /// Producer-lane ingest: distinct lanes in
+  /// [0, ConcurrentIngestProducers()) may feed concurrently, each from
+  /// one thread (see core/sharded_vos_sketch.h).
+  void UpdateBatch(const Element* elements, size_t count,
+                   unsigned producer) override {
+    sketch_.UpdateBatch(elements, count, producer);
+  }
   void FlushIngest() override { sketch_.Flush(); }
+  void FlushIngest(unsigned producer) override {
+    sketch_.FlushProducer(producer);
+  }
+  unsigned ConcurrentIngestProducers() const override {
+    return sketch_.num_producers();
+  }
 
   PairEstimate EstimatePair(UserId u, UserId v) const override;
 

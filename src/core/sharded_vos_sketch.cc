@@ -44,6 +44,7 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
   // per-element batches. Clamp both to sane minima.
   config_.queue_capacity = std::max<size_t>(1, config_.queue_capacity);
   config_.batch_size = std::max<size_t>(1, config_.batch_size);
+  config_.ingest_producers = std::max<unsigned>(1, config_.ingest_producers);
   shards_.reserve(config.num_shards);
   if (config.num_shards > 1) {
     // Dense remap: shard s is sized for exactly the users it owns and
@@ -58,15 +59,29 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
   if (config.ingest_threads > 0) {
     const unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
         {config.ingest_threads, config.num_shards, 256}));
+    producers_ = config_.ingest_producers;
     owner_.resize(config.num_shards);
     for (uint32_t s = 0; s < config.num_shards; ++s) {
       owner_[s] = static_cast<uint8_t>(s % workers);
     }
-    worker_state_.resize(workers);
+    pending_.resize(producers_);
+    pending_size_ = std::vector<std::atomic<size_t>>(producers_);
+    // One bounded queue per (producer, shard): producer p publishes shard
+    // s's sub-batches to lanes_[p·S + s] and only its owner drains it, so
+    // no worker ever touches an element it does not apply.
+    lanes_.resize(static_cast<size_t>(producers_) * config.num_shards);
+    worker_lanes_.resize(workers);
+    for (unsigned p = 0; p < producers_; ++p) {
+      for (uint32_t s = 0; s < config.num_shards; ++s) {
+        worker_lanes_[owner_[s]].push_back(LaneIndex(p, s));
+      }
+    }
     worker_threads_.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
       worker_threads_.emplace_back(&ShardedVosSketch::WorkerLoop, this, w);
     }
+  } else {
+    producers_ = 1;  // synchronous ingestion is single-threaded by contract
   }
 }
 
@@ -81,7 +96,14 @@ ShardedVosSketch::~ShardedVosSketch() {
   for (std::thread& t : worker_threads_) t.join();
 }
 
-void ShardedVosSketch::Update(const stream::Element& e) {
+void ShardedVosSketch::Update(const stream::Element& e, unsigned producer) {
+  // Validate against the CONFIGURED lane count in both modes, so a
+  // miswired lane id fails in the deterministic sync configuration tests
+  // run with, not only once the async pipeline is enabled. (Sync mode
+  // clamps the live lane count to 1 but stays a faithful stand-in for a
+  // multi-lane caller: lane ids are simply applied inline, in order.)
+  VOS_CHECK(producer < config_.ingest_producers)
+      << "producer" << producer << "of" << config_.ingest_producers;
   if (!async()) {
     const uint32_t s = router_.ShardOf(e.user);
     if (!dense_remap()) {
@@ -93,93 +115,120 @@ void ShardedVosSketch::Update(const stream::Element& e) {
     }
     return;
   }
-  pending_.push_back(e);
-  if (pending_.size() >= config_.batch_size) FlushPendingBuffer();
+  std::vector<stream::Element>& pending = pending_[producer];
+  pending.push_back(e);
+  pending_size_[producer].store(pending.size(), std::memory_order_relaxed);
+  if (pending.size() >= config_.batch_size) FlushPendingBuffer(producer);
 }
 
 void ShardedVosSketch::UpdateBatch(const stream::Element* elements,
-                                   size_t count) {
+                                   size_t count, unsigned producer) {
   if (count == 0) return;
+  VOS_CHECK(producer < config_.ingest_producers)
+      << "producer" << producer << "of" << config_.ingest_producers;
   if (!async()) {
     for (size_t i = 0; i < count; ++i) Update(elements[i]);
     return;
   }
-  // Keep per-shard order: anything buffered by Update() precedes this
-  // batch in stream order.
-  FlushPendingBuffer();
-  auto batch = std::make_shared<IngestBatch>();
-  batch->elements.assign(elements, elements + count);
-  batch->tags.resize(count);
-  RouteBatch(batch->elements.data(), count, batch->tags.data());
-  EnqueueBatch(std::move(batch));
+  // Keep the lane's per-shard order: anything buffered by Update() on
+  // this lane precedes this batch in the lane's stream order.
+  FlushPendingBuffer(producer);
+  std::vector<std::vector<stream::Element>> per_shard(router_.num_shards());
+  RoutePartition(elements, count, &per_shard);
+  for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+    if (per_shard[s].empty()) continue;
+    EnqueueSubBatch(producer, s, std::move(per_shard[s]));
+  }
 }
 
-void ShardedVosSketch::RouteBatch(stream::Element* elements, size_t count,
-                                  uint16_t* tags) {
-  // The handoff to shard-local coordinates: after this, elements carry
-  // dense local ids and tags carry the owning shard, so workers apply
-  // them verbatim.
+void ShardedVosSketch::RoutePartition(
+    const stream::Element* elements, size_t count,
+    std::vector<std::vector<stream::Element>>* per_shard) const {
+  // The handoff to shard-local coordinates: after this, each sub-batch
+  // carries dense local ids and belongs wholly to one shard, so workers
+  // apply it verbatim.
   if (dense_remap()) {
-    dense_map_.Route(elements, count, tags);
+    dense_map_.Partition(elements, count, per_shard);
   } else {
-    router_.Tag(elements, count, tags);
+    router_.Partition(elements, count, per_shard);
   }
 }
 
-void ShardedVosSketch::FlushPendingBuffer() {
-  if (pending_.empty()) return;
-  auto batch = std::make_shared<IngestBatch>();
-  batch->elements = std::move(pending_);
-  pending_.clear();
-  batch->tags.resize(batch->elements.size());
-  RouteBatch(batch->elements.data(), batch->elements.size(),
-             batch->tags.data());
-  EnqueueBatch(std::move(batch));
+void ShardedVosSketch::FlushPendingBuffer(unsigned producer) {
+  std::vector<stream::Element>& pending = pending_[producer];
+  if (pending.empty()) return;
+  std::vector<std::vector<stream::Element>> per_shard(router_.num_shards());
+  RoutePartition(pending.data(), pending.size(), &per_shard);
+  pending.clear();
+  // The elements re-appear in the lane enqueued counters below; a
+  // cross-thread HasPendingIngest between this store and those enqueues
+  // can transiently answer false, which the header's contract allows (a
+  // false is only a stable "quiesced" once producers have stopped —
+  // this producer is mid-call). Calls from this lane's own thread after
+  // the buffer flush always see the enqueued counters.
+  pending_size_[producer].store(0, std::memory_order_relaxed);
+  for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+    if (per_shard[s].empty()) continue;
+    EnqueueSubBatch(producer, s, std::move(per_shard[s]));
+  }
 }
 
-void ShardedVosSketch::EnqueueBatch(std::shared_ptr<const IngestBatch> batch) {
+void ShardedVosSketch::EnqueueSubBatch(unsigned producer, uint32_t shard,
+                                       std::vector<stream::Element> batch) {
+  const size_t lane = LaneIndex(producer, shard);
   std::unique_lock<std::mutex> lock(mu_);
-  // Back-pressure: wait until every worker queue has room, then publish
-  // the shared batch to all of them at once (workers skip foreign
-  // elements while scanning, so no per-shard copies are made).
-  cv_.wait(lock, [&] {
-    for (const WorkerState& w : worker_state_) {
-      if (w.queue.size() >= config_.queue_capacity) return false;
-    }
-    return true;
-  });
-  for (WorkerState& w : worker_state_) {
-    w.queue.push_back(batch);
-    ++w.enqueued;
-  }
+  // Back-pressure on exactly the full queue: only this producer blocks,
+  // and only until shard `shard`'s worker drains a sub-batch — other
+  // lanes keep flowing.
+  cv_.wait(lock,
+           [&] { return lanes_[lane].batches.size() < config_.queue_capacity; });
+  lanes_[lane].batches.push_back(std::move(batch));
+  ++lanes_[lane].enqueued;
   lock.unlock();
   cv_.notify_all();
 }
 
 void ShardedVosSketch::WorkerLoop(unsigned worker) {
-  WorkerState& state = worker_state_[worker];
+  const std::vector<size_t>& lanes = worker_lanes_[worker];
+  // Round-robin cursor over the worker's lanes so no producer's queue is
+  // starved while another lane stays hot.
+  size_t cursor = 0;
   for (;;) {
-    std::shared_ptr<const IngestBatch> batch;
+    std::vector<stream::Element> batch;
+    size_t lane = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !state.queue.empty(); });
-      if (state.queue.empty()) return;  // stopping_ and drained
-      batch = std::move(state.queue.front());
-      state.queue.pop_front();
+      cv_.wait(lock, [&] {
+        if (stopping_) return true;
+        for (size_t l : lanes) {
+          if (!lanes_[l].batches.empty()) return true;
+        }
+        return false;
+      });
+      bool found = false;
+      for (size_t i = 0; i < lanes.size(); ++i) {
+        const size_t candidate = lanes[(cursor + i) % lanes.size()];
+        if (!lanes_[candidate].batches.empty()) {
+          lane = candidate;
+          cursor = (cursor + i + 1) % lanes.size();
+          found = true;
+          break;
+        }
+      }
+      if (!found) return;  // stopping_ and every owned lane drained
+      batch = std::move(lanes_[lane].batches.front());
+      lanes_[lane].batches.pop_front();
     }
     cv_.notify_all();  // queue shrank: unblock a back-pressured producer
-    const stream::Element* elements = batch->elements.data();
-    const uint16_t* tags = batch->tags.data();
-    const size_t count = batch->elements.size();
-    const uint8_t me = static_cast<uint8_t>(worker);
-    for (size_t i = 0; i < count; ++i) {
-      const uint16_t shard = tags[i];
-      if (owner_[shard] == me) shards_[shard].Update(elements[i]);
-    }
-    batch.reset();  // release before signalling completion
+    // Every element of the sub-batch belongs to this lane's shard and is
+    // already in shard-local coordinates — apply verbatim, no scanning.
+    VosSketch& sketch = shards_[lane % router_.num_shards()];
+    for (const stream::Element& e : batch) sketch.Update(e);
+    batch.clear();
+    batch.shrink_to_fit();  // release before signalling completion
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++state.completed;
+      ++lanes_[lane].completed;
     }
     cv_.notify_all();  // Flush() may be waiting on completion counts
   }
@@ -187,11 +236,27 @@ void ShardedVosSketch::WorkerLoop(unsigned worker) {
 
 void ShardedVosSketch::Flush() {
   if (!async()) return;
-  FlushPendingBuffer();
+  for (unsigned p = 0; p < producers_; ++p) FlushPendingBuffer(p);
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] {
-    for (const WorkerState& w : worker_state_) {
-      if (w.completed != w.enqueued) return false;
+    for (const LaneQueue& lane : lanes_) {
+      if (lane.completed != lane.enqueued) return false;
+    }
+    return true;
+  });
+}
+
+void ShardedVosSketch::FlushProducer(unsigned producer) {
+  VOS_CHECK(producer < config_.ingest_producers)
+      << "producer" << producer << "of" << config_.ingest_producers;
+  if (!async()) return;
+  FlushPendingBuffer(producer);
+  const size_t first = LaneIndex(producer, 0);
+  const size_t last = first + router_.num_shards();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    for (size_t l = first; l < last; ++l) {
+      if (lanes_[l].completed != lanes_[l].enqueued) return false;
     }
     return true;
   });
@@ -199,10 +264,12 @@ void ShardedVosSketch::Flush() {
 
 bool ShardedVosSketch::HasPendingIngest() const {
   if (!async()) return false;
-  if (!pending_.empty()) return true;
+  for (const std::atomic<size_t>& size : pending_size_) {
+    if (size.load(std::memory_order_relaxed) > 0) return true;
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  for (const WorkerState& w : worker_state_) {
-    if (w.completed != w.enqueued) return true;
+  for (const LaneQueue& lane : lanes_) {
+    if (lane.completed != lane.enqueued) return true;
   }
   return false;
 }

@@ -20,14 +20,35 @@
 // contamination correction from (1−2β)² to (1−2β_A)(1−2β_B), i.e. the
 // 2·ln|1−2β| term becomes ln|1−2β_A| + ln|1−2β_B|.
 //
-// Ingestion pipeline (ingest_threads ≥ 1): the producer tags each batch
-// with per-element shard ids and enqueues it — one shared, immutable
-// batch — onto every worker's bounded queue. Worker w scans the batch and
-// applies exactly the elements whose shard it owns (shard s belongs to
-// worker s mod W), preserving per-shard element order; back-pressure
-// blocks the producer when a queue is full. With ingest_threads == 0 the
-// pipeline is synchronous: UpdateBatch routes and applies inline, which
-// is deterministic and what the equivalence tests compare against.
+// Ingestion pipeline (ingest_threads ≥ 1): P producer lanes
+// (ingest_producers) feed W shard workers through P·S bounded FIFO
+// queues, one per (producer, shard). A producer's UpdateBatch runs ONE
+// routing pass over its batch (DenseShardMap::Partition — rewrite to
+// dense local ids and split into per-shard sub-batches), then enqueues
+// each non-empty sub-batch onto its own (producer, shard) queue;
+// back-pressure blocks that producer on exactly the full queue. Worker w
+// owns shards {s : s mod W == w} and drains their queues round-robin
+// across producers, applying every element of a sub-batch verbatim — no
+// worker ever scans elements it does not own, so ingest bandwidth scales
+// with the producer count instead of being capped by a per-worker
+// whole-batch scan (~(t_update + t_scan)/t_scan), and with the worker
+// count on the apply side.
+//
+// Determinism: each (producer, shard) queue is FIFO and each shard is
+// applied by exactly one worker, so shard s sees producer p's elements in
+// p's order. Interleaving BETWEEN producers is scheduling-dependent, but
+// the final sketch state is not: array updates are XOR flips and
+// cardinality updates are ±1 — both commutative — so the flushed state is
+// bit-identical to synchronously routing each producer's stream in any
+// order (asserted in tests/sharded_ingest_test.cc across producers ×
+// shards × queue capacities). Per-producer in-shard FIFO order is what
+// keeps each producer's feasible sub-stream feasible at the shard (a
+// user's deletes never overtake their inserts when each user's history
+// lives in one producer lane).
+//
+// With ingest_threads == 0 the pipeline is synchronous: UpdateBatch
+// routes and applies inline (single-threaded, deterministic) — the
+// reference the equivalence tests compare against.
 //
 // Dense user remap (num_shards > 1): shard s's VosSketch lives entirely
 // in shard-local id space. A construction-time DenseShardMap
@@ -45,21 +66,19 @@
 // entirely, keeping the single shard bit-identical to a standalone
 // VosSketch(base) fed the raw stream.
 //
-// Thread-safety contract: Update / UpdateBatch / Flush are
-// producer-side calls and must come from one thread at a time. Queries
-// (EstimatePair, shard(), Cardinality) require a quiesced pipeline —
-// call Flush() first; they are then const and concurrent-safe. The
-// destructor flushes and joins the workers.
-//
-// Known costs at extreme scale (ROADMAP "Ingestion engine" follow-ups):
-// because each worker scans the whole tagged batch (skipping foreign
-// elements), the per-worker scan floor caps async speedup at roughly
-// (t_update + t_scan)/t_scan for large S; per-(producer, shard)
-// sub-batches remove the O(S·N) scan when shard counts grow past the
-// worker count of one socket.
+// Thread-safety contract: producer lane p (Update / UpdateBatch /
+// FlushProducer with producer == p) must be driven by one thread at a
+// time, but DISTINCT lanes may run concurrently — that is the point.
+// Flush() quiesces every lane and requires that no producer is feeding
+// concurrently. Queries (EstimatePair, shard(), Cardinality) require a
+// quiesced pipeline — call Flush() first; they are then const and
+// concurrent-safe. The destructor flushes and joins the workers. In
+// synchronous mode all ingest calls mutate shards inline and must come
+// from one thread at a time regardless of the producer id.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -88,12 +107,19 @@ struct ShardedVosConfig {
   /// threads, deterministic); otherwise min(ingest_threads, num_shards)
   /// workers are spawned and each owns a fixed subset of the shards.
   unsigned ingest_threads = 0;
+  /// Producer lanes (asynchronous mode only): each lane has its own
+  /// pending buffer and its own bounded queue per shard, and may be
+  /// driven by its own thread concurrently with the other lanes. Clamped
+  /// to ≥ 1; forced to 1 in synchronous mode (inline ingestion is
+  /// single-threaded by contract).
+  unsigned ingest_producers = 1;
   /// Elements buffered by Update() before auto-enqueueing one batch
   /// (asynchronous mode only; UpdateBatch enqueues the caller's batch
   /// as-is).
   size_t batch_size = 4096;
-  /// Bounded queue depth, in batches per worker; a full queue blocks the
-  /// producer (back-pressure instead of unbounded memory).
+  /// Bounded queue depth, in sub-batches per (producer, shard) queue; a
+  /// full queue blocks that producer (back-pressure instead of unbounded
+  /// memory).
   size_t queue_capacity = 64;
 };
 
@@ -114,19 +140,33 @@ class ShardedVosSketch {
   static VosConfig ShardConfig(const ShardedVosConfig& config,
                                uint32_t shard);
 
-  /// Processes one element. Synchronous mode applies it inline;
-  /// asynchronous mode buffers it and enqueues a batch every
-  /// `batch_size` elements.
-  void Update(const stream::Element& e);
+  /// Processes one element on producer lane `producer`. Synchronous mode
+  /// applies it inline; asynchronous mode buffers it in the lane's
+  /// pending buffer and enqueues a sub-batch run every `batch_size`
+  /// elements.
+  void Update(const stream::Element& e, unsigned producer = 0);
 
-  /// Processes a contiguous batch, preserving per-shard element order.
-  void UpdateBatch(const stream::Element* elements, size_t count);
+  /// Processes a contiguous batch on producer lane `producer`, preserving
+  /// the lane's per-shard element order. Asynchronous mode partitions the
+  /// batch into per-shard sub-batches in one routing pass and enqueues
+  /// them onto the lane's per-shard queues.
+  void UpdateBatch(const stream::Element* elements, size_t count,
+                   unsigned producer = 0);
 
-  /// Blocks until every accepted element is applied to its shard
-  /// (including the Update() buffer). No-op in synchronous mode.
+  /// Blocks until every element accepted on ANY lane is applied to its
+  /// shard (including all Update() buffers). Requires that no producer is
+  /// feeding concurrently. No-op in synchronous mode.
   void Flush();
 
+  /// Blocks until every element accepted on lane `producer` is applied.
+  /// Safe to call from the lane's own thread while OTHER lanes are still
+  /// feeding.
+  void FlushProducer(unsigned producer);
+
   /// True while elements are buffered or queued but not yet applied.
+  /// Safe to poll from any thread while producer lanes are feeding (the
+  /// lane buffers are mirrored through relaxed atomics); a false answer
+  /// is only a stable "quiesced" statement once producers have stopped.
   bool HasPendingIngest() const;
 
   /// (ŝ, Ĵ) for a pair at the current (flushed) state. Same-shard pairs
@@ -138,6 +178,10 @@ class ShardedVosSketch {
   uint32_t ShardOf(UserId user) const { return router_.ShardOf(user); }
   uint32_t num_shards() const { return router_.num_shards(); }
   const stream::ShardRouter& router() const { return router_; }
+
+  /// Producer lanes that may ingest concurrently: config.ingest_producers
+  /// in asynchronous mode, 1 in synchronous mode.
+  unsigned num_producers() const { return producers_; }
 
   /// True when the dense remap is engaged (num_shards > 1); with one
   /// shard local ids equal global ids.
@@ -185,24 +229,28 @@ class ShardedVosSketch {
   UserId num_users() const { return num_users_; }
 
  private:
-  /// One tagged, immutable batch shared by every worker.
-  struct IngestBatch {
-    std::vector<stream::Element> elements;
-    std::vector<uint16_t> tags;  ///< tags[i] = shard of elements[i]
-  };
-
-  struct WorkerState {
-    std::deque<std::shared_ptr<const IngestBatch>> queue;  // guarded by mu_
-    size_t enqueued = 0;   ///< batches pushed (guarded by mu_)
-    size_t completed = 0;  ///< batches fully applied (guarded by mu_)
+  /// One bounded FIFO of shard-owned sub-batches: the (producer, shard)
+  /// channel. Elements are already in shard-local coordinates, so the
+  /// owning worker applies them verbatim.
+  struct LaneQueue {
+    std::deque<std::vector<stream::Element>> batches;  // guarded by mu_
+    size_t enqueued = 0;   ///< sub-batches pushed (guarded by mu_)
+    size_t completed = 0;  ///< sub-batches fully applied (guarded by mu_)
   };
 
   bool async() const { return !worker_threads_.empty(); }
-  /// Rewrites a batch to shard-local coordinates (dense local ids +
-  /// shard tags); pure tagging when the remap is off (one shard).
-  void RouteBatch(stream::Element* elements, size_t count, uint16_t* tags);
-  void EnqueueBatch(std::shared_ptr<const IngestBatch> batch);
-  void FlushPendingBuffer();
+  size_t LaneIndex(unsigned producer, uint32_t shard) const {
+    return static_cast<size_t>(producer) * router_.num_shards() + shard;
+  }
+  /// The one routing pass: splits [elements, elements+count) into
+  /// per-shard sub-batches rewritten to shard-local coordinates.
+  /// `per_shard` must hold num_shards() empty buckets.
+  void RoutePartition(const stream::Element* elements, size_t count,
+                      std::vector<std::vector<stream::Element>>* per_shard)
+      const;
+  void EnqueueSubBatch(unsigned producer, uint32_t shard,
+                       std::vector<stream::Element> batch);
+  void FlushPendingBuffer(unsigned producer);
   void WorkerLoop(unsigned worker);
 
   ShardedVosConfig config_;
@@ -211,17 +259,29 @@ class ShardedVosSketch {
   /// (identity remap). Immutable after construction.
   stream::DenseShardMap dense_map_;
   UserId num_users_ = 0;
+  unsigned producers_ = 1;
   VosEstimator estimator_;
   std::vector<VosSketch> shards_;
   /// owner_[s] = worker that applies shard s's elements.
   std::vector<uint8_t> owner_;
 
-  // Producer-side Update() buffer (async mode; single producer).
-  std::vector<stream::Element> pending_;
+  /// Producer-side Update() buffers, one per lane (async mode); each is
+  /// touched only by its lane's thread (plus Flush on a quiesced
+  /// pipeline).
+  std::vector<std::vector<stream::Element>> pending_;
+  /// pending_size_[p] mirrors pending_[p].size(), maintained by lane p
+  /// with relaxed stores so HasPendingIngest can poll from any thread
+  /// without racing the lane's vector mutations.
+  std::vector<std::atomic<size_t>> pending_size_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<WorkerState> worker_state_;
+  /// Producer-major: lanes_[LaneIndex(p, s)] is lane p's shard-s queue.
+  std::vector<LaneQueue> lanes_;
+  /// worker_lanes_[w] = indexes into lanes_ of every queue worker w
+  /// drains (its owned shards × all producers). Immutable after
+  /// construction.
+  std::vector<std::vector<size_t>> worker_lanes_;
   bool stopping_ = false;
   std::vector<std::thread> worker_threads_;
 };

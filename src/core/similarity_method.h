@@ -50,11 +50,38 @@ class SimilarityMethod {
     for (size_t i = 0; i < count; ++i) Update(elements[i]);
   }
 
+  /// Producer-lane variant: processes the batch on ingest lane
+  /// `producer`. Methods with a multi-producer pipeline (VOS-sharded)
+  /// accept concurrent calls on DISTINCT lanes in
+  /// [0, ConcurrentIngestProducers()); each lane must be driven by one
+  /// thread at a time and sees its own elements applied in FIFO order.
+  /// The default ignores the lane and forwards to the single-producer
+  /// UpdateBatch — safe, because the default advertises one lane.
+  virtual void UpdateBatch(const Element* elements, size_t count,
+                           unsigned producer) {
+    (void)producer;
+    UpdateBatch(elements, count);
+  }
+
   /// Blocks until every element previously passed to Update/UpdateBatch
-  /// is reflected in the sketch state. No-op for synchronous methods; the
-  /// harness calls it before evaluating a checkpoint so asynchronous
-  /// ingest pipelines quiesce first.
+  /// (on any lane) is reflected in the sketch state. No-op for
+  /// synchronous methods; the harness calls it before evaluating a
+  /// checkpoint so asynchronous ingest pipelines quiesce first. Requires
+  /// that no producer lane is feeding concurrently.
   virtual void FlushIngest() {}
+
+  /// Producer-lane variant: blocks until lane `producer`'s elements are
+  /// applied. Safe to call from the lane's own thread while other lanes
+  /// are still feeding; the default forwards to the global FlushIngest.
+  virtual void FlushIngest(unsigned producer) {
+    (void)producer;
+    FlushIngest();
+  }
+
+  /// Number of ingest lanes that may call the producer-lane UpdateBatch
+  /// concurrently (1 = single-producer, the default). The harness uses
+  /// this to decide how many replay threads to spawn.
+  virtual unsigned ConcurrentIngestProducers() const { return 1; }
 
   /// Estimates (ŝ_uv, Ĵ_uv) for the pair at the current time.
   virtual PairEstimate EstimatePair(UserId u, UserId v) const = 0;

@@ -70,7 +70,8 @@ StatusOr<VosSketch> VosSketchIo::Load(const std::string& path) {
     return Status::Corruption(path + ": bad magic");
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
+  if (!ReadPod(in, &version) || version < kMinVersion ||
+      version > kVersion) {
     return Status::Corruption(path + ": unsupported version " +
                               std::to_string(version));
   }
@@ -79,9 +80,21 @@ StatusOr<VosSketch> VosSketchIo::Load(const std::string& path) {
   uint32_t num_users = 0;
   uint64_t num_words = 0;
   if (!ReadPod(in, &config.k) || !ReadPod(in, &config.m) ||
-      !ReadPod(in, &config.seed) || !ReadPod(in, &psi_kind) ||
-      !ReadPod(in, &config.f_seed) || !ReadPod(in, &num_users) ||
-      !ReadPod(in, &num_words)) {
+      !ReadPod(in, &config.seed) || !ReadPod(in, &psi_kind)) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (version >= 2) {
+    // v2 carries the resolved f-family seed (VosConfig::f_seed override).
+    if (!ReadPod(in, &config.f_seed)) {
+      return Status::Corruption(path + ": truncated header");
+    }
+  } else {
+    // v1 predates the f_seed field: those sketches could only have been
+    // written with the legacy default family, which f_seed == 0 makes
+    // VosSketch re-derive from `seed` — the identical f cells.
+    config.f_seed = 0;
+  }
+  if (!ReadPod(in, &num_users) || !ReadPod(in, &num_words)) {
     return Status::Corruption(path + ": truncated header");
   }
   if (psi_kind > static_cast<uint8_t>(PsiKind::kTabulation)) {

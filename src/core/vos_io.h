@@ -4,9 +4,15 @@
 //
 // Format (little-endian, versioned):
 //   magic "VOSSKTCH" | u32 version | u32 k | u64 m | u64 seed
-//   | u8 psi_kind | u64 f_seed (v2: resolved f-family seed; see
+//   | u8 psi_kind | u64 f_seed (v2+ only: resolved f-family seed; see
 //   VosConfig::f_seed) | u32 num_users | u64 num_array_words | array words
 //   | cardinalities (u32 × num_users) | u64 xor-checksum
+//
+// Save always writes the current version (v2). Load accepts every version
+// in [kMinVersion, kVersion]: v1 files predate the f_seed field, and were
+// therefore necessarily written with the legacy default f family — Load
+// restores them with f_seed = 0, which makes VosSketch re-derive exactly
+// that family from `seed`.
 //
 // The checksum covers the payload words and catches truncation and
 // bit-rot; Load re-derives the 1-bit count from the payload, so a loaded
@@ -32,7 +38,10 @@ class VosSketchIo {
   static StatusOr<VosSketch> Load(const std::string& path);
 
   static constexpr char kMagic[9] = "VOSSKTCH";
+  /// The version Save writes.
   static constexpr uint32_t kVersion = 2;
+  /// The oldest version Load still reads (v1: no f_seed field).
+  static constexpr uint32_t kMinVersion = 1;
 };
 
 }  // namespace vos::core

@@ -44,7 +44,9 @@ struct ExperimentConfig {
   /// Metrics are bit-identical for every value.
   unsigned query_threads = 0;
   /// Method sizing (base_k, λ, seeds, clamping), ingest knobs
-  /// (vos_shards, ingest_threads, ingest_batch — the latter also sets
+  /// (vos_shards, ingest_threads, ingest_producers — the accuracy replay
+  /// itself stays single-producer so checkpoint cuts are exact —
+  /// ingest_batch, the latter of which also sets
   /// the replay batch size for both experiment entry points; metrics are
   /// identical for every value, since the default UpdateBatch is the
   /// element loop and batched methods quiesce via FlushIngest before
@@ -99,8 +101,12 @@ StatusOr<ExperimentResult> RunAccuracyExperiment(
 /// factory.ingest_batch-sized UpdateBatch calls with a FlushIngest inside
 /// the timed region, so "VOS-sharded" is measured end-to-end — routing,
 /// queues and shard workers included — under the factory's
-/// vos_shards/ingest_threads knobs. Backs Figure 2 in both serial and
-/// sharded configurations.
+/// vos_shards/ingest_threads/ingest_producers knobs. When the method
+/// advertises ConcurrentIngestProducers() > 1, the stream is
+/// pre-partitioned by user across that many lanes (outside the timed
+/// region — deployed producers receive their own streams) and replayed by
+/// one thread per lane, each flushing its own lane inside the timer.
+/// Backs Figure 2 in serial, sharded and multi-producer configurations.
 StatusOr<double> MeasureUpdateRuntime(const stream::GraphStream& stream,
                                       const std::string& method_name,
                                       const MethodFactoryConfig& factory);

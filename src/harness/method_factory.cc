@@ -65,6 +65,7 @@ StatusOr<std::unique_ptr<core::SimilarityMethod>> CreateMethod(
     sharded.base.track_dirty = false;  // as for "VOS": bare update path
     sharded.num_shards = std::max<uint32_t>(1, config.vos_shards);
     sharded.ingest_threads = config.ingest_threads;
+    sharded.ingest_producers = std::max<unsigned>(1, config.ingest_producers);
     sharded.batch_size = std::max<size_t>(1, config.ingest_batch);
     core::VosEstimatorOptions options;
     options.clamp_to_feasible = config.clamp;

@@ -38,8 +38,14 @@ struct MethodFactoryConfig {
   uint32_t vos_shards = 4;
   /// Ingest worker threads for "VOS-sharded": 0 = synchronous routing
   /// (deterministic, no worker threads), ≥1 spawns min(threads, shards)
-  /// shard workers fed from bounded batch queues.
+  /// shard workers fed from bounded per-(producer, shard) queues.
   unsigned ingest_threads = 0;
+  /// Producer lanes for "VOS-sharded"'s asynchronous pipeline: each lane
+  /// routes its own batches and owns one bounded queue per shard, so
+  /// ingest scales with concurrent producers (MeasureUpdateRuntime spawns
+  /// one replay thread per lane). Ignored in synchronous mode and by
+  /// every other method.
+  unsigned ingest_producers = 1;
   /// Elements per auto-enqueued ingest batch for "VOS-sharded"'s
   /// per-element Update path.
   size_t ingest_batch = 4096;

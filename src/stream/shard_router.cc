@@ -13,6 +13,13 @@ void ShardRouter::Partition(const Element* elements, size_t count,
                             std::vector<std::vector<Element>>* per_shard) const {
   VOS_CHECK(per_shard->size() == num_shards_)
       << "per_shard must have one bucket per shard";
+  // Hash routing spreads a batch near-uniformly; reserving the expected
+  // bucket size plus slack absorbs almost all growth without a second
+  // counting pass over the batch (this is the ingest hot path).
+  const size_t expected = count / num_shards_ + count / (4 * num_shards_) + 8;
+  for (auto& bucket : *per_shard) {
+    bucket.reserve(bucket.size() + expected);
+  }
   for (size_t i = 0; i < count; ++i) {
     (*per_shard)[ShardOf(elements[i].user)].push_back(elements[i]);
   }
@@ -36,9 +43,36 @@ void DenseShardMap::Route(Element* elements, size_t count,
                           uint16_t* tags) const {
   for (size_t i = 0; i < count; ++i) {
     const UserId user = elements[i].user;
-    VOS_DCHECK(user < local_of_.size()) << "user" << user << "out of range";
+    // Always-on: a release build reading local_of_[user] out of bounds
+    // would route the element to a garbage (shard, local id) — fail
+    // loudly instead.
+    VOS_CHECK(user < local_of_.size())
+        << "user" << user << "out of range (num_users "
+        << local_of_.size() << ")";
     tags[i] = static_cast<uint16_t>(router_.ShardOf(user));
     elements[i].user = local_of_[user];
+  }
+}
+
+void DenseShardMap::Partition(const Element* elements, size_t count,
+                              std::vector<std::vector<Element>>* per_shard)
+    const {
+  VOS_CHECK(per_shard->size() == router_.num_shards())
+      << "per_shard must have one bucket per shard";
+  // Expected-size reservation with slack, as in ShardRouter::Partition.
+  const size_t shards = router_.num_shards();
+  const size_t expected = count / shards + count / (4 * shards) + 8;
+  for (auto& bucket : *per_shard) {
+    bucket.reserve(bucket.size() + expected);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    Element local = elements[i];
+    VOS_CHECK(local.user < local_of_.size())
+        << "user" << local.user << "out of range (num_users "
+        << local_of_.size() << ")";
+    const uint32_t shard = router_.ShardOf(local.user);
+    local.user = local_of_[local.user];
+    (*per_shard)[shard].push_back(local);
   }
 }
 

@@ -104,9 +104,15 @@ class DenseShardMap {
 
   uint32_t ShardOf(UserId user) const { return router_.ShardOf(user); }
 
-  /// Dense local id of `user` within its shard.
+  /// Dense local id of `user` within its shard. Always-on bounds check:
+  /// `user` comes from external stream elements (or query arguments), so
+  /// an out-of-range id must abort loudly rather than read past the
+  /// table in Release — this closes the synchronous ingest and query
+  /// paths the same way Route/Partition close the pipelined one.
   UserId LocalOf(UserId user) const {
-    VOS_DCHECK(user < local_of_.size()) << "user" << user << "out of range";
+    VOS_CHECK(user < local_of_.size())
+        << "user" << user << "out of range (num_users " << local_of_.size()
+        << ")";
     return local_of_[user];
   }
 
@@ -122,10 +128,24 @@ class DenseShardMap {
     return static_cast<UserId>(globals_[shard].size());
   }
 
-  /// The ingest handoff: rewrites elements[i].user to its dense local id
-  /// and writes the owning shard into tags[0..count). After this call a
-  /// batch is expressed entirely in shard-local coordinates — workers
-  /// apply elements to their shards without further translation.
+  /// The partitioning ingest handoff — the one ShardedVosSketch's
+  /// pipeline uses: appends each element — rewritten to its dense local
+  /// id — to per_shard[ShardOf(user)]. One pass yields S shard-owned
+  /// sub-batches, each wholly in shard-local coordinates, so a
+  /// multi-producer pipeline can hand every sub-batch to exactly its
+  /// shard's queue (no consumer ever scans foreign elements). per_shard
+  /// must have num_shards() entries; existing content is kept. Aborts
+  /// (VOS_CHECK) on a user id outside [0, num_users()): the remap tables
+  /// are sized at construction, so an out-of-range id is stream
+  /// corruption, not a case to read past the table silently.
+  void Partition(const Element* elements, size_t count,
+                 std::vector<std::vector<Element>>* per_shard) const;
+
+  /// In-place variant of the handoff for consumers that share one batch
+  /// read-only (external shard replicas; the pre-PR-4 tagged pipeline):
+  /// rewrites elements[i].user to its dense local id and writes the
+  /// owning shard into tags[0..count). Same out-of-range abort as
+  /// Partition.
   void Route(Element* elements, size_t count, uint16_t* tags) const;
 
   /// Bits held by the map itself (forward + inverse tables): 64·num_users.

@@ -119,6 +119,89 @@ TEST(VosSketchIoTest, LoadRejectsTruncation) {
   std::remove(path.c_str());
 }
 
+/// Independent re-implementation of the serialized format for the legacy
+/// v1 layout (no f_seed field), byte-for-byte per the header comment in
+/// core/vos_io.h — deliberately NOT sharing code with Save, so this test
+/// pins the on-disk format itself.
+void WriteV1File(const VosSketch& sketch, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const auto write_pod = [&out](const auto& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  out.write(VosSketchIo::kMagic, 8);
+  write_pod(uint32_t{1});  // the legacy version
+  write_pod(sketch.config().k);
+  write_pod(sketch.config().m);
+  write_pod(sketch.config().seed);
+  write_pod(static_cast<uint8_t>(sketch.config().psi_kind));
+  // v1 header ends here: no f_seed field.
+  const std::vector<uint64_t>& words = sketch.array().words();
+  std::vector<uint32_t> cards(sketch.num_users());
+  for (UserId u = 0; u < sketch.num_users(); ++u) {
+    cards[u] = sketch.Cardinality(u);
+  }
+  write_pod(static_cast<uint32_t>(cards.size()));
+  write_pod(static_cast<uint64_t>(words.size()));
+  out.write(reinterpret_cast<const char*>(words.data()),
+            static_cast<std::streamsize>(words.size() * sizeof(uint64_t)));
+  out.write(reinterpret_cast<const char*>(cards.data()),
+            static_cast<std::streamsize>(cards.size() * sizeof(uint32_t)));
+  uint64_t checksum = 0x5b5e1ab1eULL;
+  uint64_t index = 0;
+  for (uint64_t w : words) checksum ^= hash::Hash64(w, ++index);
+  for (uint32_t c : cards) checksum ^= hash::Hash64(c, ++index);
+  write_pod(checksum);
+}
+
+TEST(VosSketchIoTest, LoadReadsLegacyV1FilesWithDefaultFSeed) {
+  // A v1 sketch predates VosConfig::f_seed, so it was necessarily built
+  // with the legacy default family (f_seed == 0 ⇒ derived from seed).
+  // Loading one must restore that exact family, not reject the file.
+  const std::string path = ::testing::TempDir() + "/vos_sketch_v1.bin";
+  VosSketch original(TestConfig(), 40);
+  for (const Element& e : RandomInsertions(40, 600, 3)) original.Update(e);
+
+  WriteV1File(original, path);
+  auto loaded = VosSketchIo::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_TRUE(loaded->array() == original.array());
+  EXPECT_TRUE(loaded->IsCompatibleWith(original))
+      << "v1 load must re-derive the legacy default f family";
+  for (UserId u = 0; u < 40; ++u) {
+    EXPECT_EQ(loaded->Cardinality(u), original.Cardinality(u));
+  }
+  // Digests reconstruct through the same f cells — the property a wrong
+  // f seed would break even with an identical array.
+  EXPECT_TRUE(loaded->ExtractUserSketch(7) == original.ExtractUserSketch(7));
+
+  // The write format stays v2: saving the loaded sketch and loading it
+  // back round-trips through the current format bit-for-bit.
+  const std::string resaved = ::testing::TempDir() + "/vos_sketch_v1_re.bin";
+  ASSERT_TRUE(VosSketchIo::Save(*loaded, resaved).ok());
+  auto reloaded = VosSketchIo::Load(resaved);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(reloaded->array() == original.array());
+  EXPECT_TRUE(reloaded->IsCompatibleWith(original));
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(VosSketchIoTest, LoadRejectsVersionsOutsideSupportedRange) {
+  for (const uint32_t version : {0u, VosSketchIo::kVersion + 1}) {
+    const std::string path = ::testing::TempDir() + "/vos_sketch_v" +
+                             std::to_string(version) + ".bin";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(VosSketchIo::kMagic, 8);
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.close();
+    EXPECT_EQ(VosSketchIo::Load(path).status().code(),
+              StatusCode::kCorruption)
+        << "version " << version;
+    std::remove(path.c_str());
+  }
+}
+
 // ---------------------------------------------------------------- MergeFrom
 
 TEST(VosMergeTest, UserPartitionedShardsMergeToMonolithicSketch) {

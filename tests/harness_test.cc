@@ -225,6 +225,31 @@ TEST(ExperimentTest, MeasureUpdateRuntimeIsPositive) {
   }
 }
 
+TEST(ExperimentTest, MeasureUpdateRuntimeRunsMultiProducerReplay) {
+  // The multi-producer path: "VOS-sharded" with ingest_producers > 1
+  // makes MeasureUpdateRuntime pre-partition the stream by user and
+  // replay with one thread per lane. The timing must come back positive
+  // and the method must survive the concurrent replay (the sketch-state
+  // equivalence itself is covered in sharded_ingest_test).
+  auto stream = stream::GenerateDatasetByName("unit");
+  ASSERT_TRUE(stream.ok());
+  MethodFactoryConfig factory;
+  factory.base_k = 20;
+  factory.vos_shards = 4;
+  factory.ingest_threads = 2;
+  factory.ingest_producers = 3;
+  auto seconds = MeasureUpdateRuntime(*stream, "VOS-sharded", factory);
+  ASSERT_TRUE(seconds.ok());
+  EXPECT_GT(*seconds, 0.0);
+  EXPECT_LT(*seconds, 10.0);
+  // Synchronous mode advertises one lane regardless of the knob, so the
+  // single-producer replay path is taken.
+  factory.ingest_threads = 0;
+  auto sync_seconds = MeasureUpdateRuntime(*stream, "VOS-sharded", factory);
+  ASSERT_TRUE(sync_seconds.ok());
+  EXPECT_GT(*sync_seconds, 0.0);
+}
+
 TEST(ExperimentTest, DeterministicAcrossRuns) {
   auto stream = stream::GenerateDatasetByName("unit");
   ASSERT_TRUE(stream.ok());

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -62,6 +64,33 @@ ShardedVosConfig TestConfig(uint32_t shards, unsigned threads,
   return config;
 }
 
+/// Splits a stream into per-producer sub-streams by user (user % P), so
+/// each user's whole history rides one lane — every lane's sub-stream
+/// stays feasible under any cross-lane interleaving.
+std::vector<std::vector<Element>> SplitByProducer(
+    const std::vector<Element>& elements, unsigned producers) {
+  std::vector<std::vector<Element>> lanes(producers);
+  for (const Element& e : elements) {
+    lanes[e.user % producers].push_back(e);
+  }
+  return lanes;
+}
+
+/// Flushed shard arrays and cardinalities of `sketch` equal `reference`'s.
+void ExpectStateIdentical(const ShardedVosSketch& sketch,
+                          const ShardedVosSketch& reference,
+                          const std::string& label) {
+  ASSERT_EQ(sketch.num_shards(), reference.num_shards()) << label;
+  for (uint32_t s = 0; s < sketch.num_shards(); ++s) {
+    EXPECT_TRUE(sketch.shard(s).array() == reference.shard(s).array())
+        << label << " shard=" << s;
+  }
+  for (UserId u = 0; u < sketch.num_users(); ++u) {
+    ASSERT_EQ(sketch.Cardinality(u), reference.Cardinality(u))
+        << label << " user=" << u;
+  }
+}
+
 // ------------------------------------------------------------ ShardRouter
 
 TEST(ShardRouterTest, DeterministicAndComplete) {
@@ -115,6 +144,51 @@ TEST(DenseShardMapTest, RouteRewritesToLocalsAndTags) {
     EXPECT_EQ(elements[i].item, originals[i].item);
     EXPECT_EQ(elements[i].action, originals[i].action);
   }
+}
+
+TEST(DenseShardMapTest, PartitionEmitsShardOwnedSubBatchesInLaneOrder) {
+  const ShardRouter router(3, 7);
+  const stream::DenseShardMap map(router, 50);
+  const std::vector<Element> elements = DynamicStream(50, 300, 3);
+  std::vector<std::vector<Element>> per_shard(3);
+  map.Partition(elements.data(), elements.size(), &per_shard);
+
+  // Reconstruct each shard's expected sub-stream (stream order, local
+  // ids) and compare: Partition must preserve per-shard FIFO order.
+  std::vector<std::vector<Element>> expected(3);
+  size_t total = 0;
+  for (const Element& e : elements) {
+    Element local = e;
+    local.user = map.LocalOf(e.user);
+    expected[map.ShardOf(e.user)].push_back(local);
+  }
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(per_shard[s], expected[s]) << "shard " << s;
+    total += per_shard[s].size();
+  }
+  EXPECT_EQ(total, elements.size());
+}
+
+TEST(DenseShardMapDeathTest, RouteAndPartitionRejectOutOfRangeUsers) {
+  // Regression: Route used to VOS_DCHECK only, so a Release build read
+  // local_of_[user] out of bounds for a corrupt stream element. Both
+  // ingest handoffs must abort loudly instead.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const ShardRouter router(2, 7);
+  const stream::DenseShardMap map(router, 10);
+  std::vector<Element> elements = {{10, 1, Action::kInsert}};
+  std::vector<uint16_t> tags(1);
+  EXPECT_DEATH(map.Route(elements.data(), 1, tags.data()), "out of range");
+  std::vector<std::vector<Element>> per_shard(2);
+  EXPECT_DEATH(map.Partition(elements.data(), 1, &per_shard),
+               "out of range");
+  // LocalOf is the read behind the synchronous ingest and query paths —
+  // it must be always-on too, so sync-mode Update aborts rather than
+  // routing a corrupt element to a garbage (shard, local id) in Release.
+  EXPECT_DEATH(map.LocalOf(10), "out of range");
+  ShardedVosSketch sync_sketch(TestConfig(2, /*threads=*/0), 10);
+  EXPECT_DEATH(sync_sketch.Update({10, 1, Action::kInsert}),
+               "out of range");
 }
 
 TEST(ShardRouterTest, PartitionAndTagAgreeWithShardOf) {
@@ -322,6 +396,121 @@ TEST(ShardedVosSketchTest, AsyncPipelineMatchesSynchronousForAllThreadCounts) {
   }
 }
 
+/// The multi-producer tentpole equivalence: P concurrent producer
+/// threads, each feeding its own per-user sub-stream through its own
+/// (producer, shard) queues, land on exactly the state of synchronously
+/// routing the same per-producer streams — across the full
+/// {producers} × {shards} × {queue capacity} matrix. This is the test
+/// the TSAN CI job leans on for the new queue topology.
+TEST(ShardedVosSketchTest, MultiProducerMatrixMatchesSynchronousRouting) {
+  const UserId users = 64;
+  const std::vector<Element> elements = DynamicStream(users, 6000, 91);
+  for (const unsigned producers : {1u, 2u, 4u}) {
+    const std::vector<std::vector<Element>> lanes =
+        SplitByProducer(elements, producers);
+    for (const uint32_t shards : {1u, 4u}) {
+      // Reference: synchronous routing of the same per-producer streams,
+      // applied lane by lane (the final state is interleaving-invariant —
+      // XOR flips and ±1 counters commute — so any lane order works).
+      ShardedVosSketch reference(TestConfig(shards, 0), users);
+      for (const std::vector<Element>& lane : lanes) {
+        reference.UpdateBatch(lane.data(), lane.size());
+      }
+      for (const size_t capacity : {size_t{1}, size_t{64}}) {
+        ShardedVosConfig config = TestConfig(shards, /*threads=*/2);
+        config.ingest_producers = producers;
+        config.queue_capacity = capacity;
+        config.batch_size = 48;
+        ShardedVosSketch sketch(config, users);
+        ASSERT_EQ(sketch.num_producers(), producers);
+        std::vector<std::thread> threads;
+        threads.reserve(producers);
+        for (unsigned p = 0; p < producers; ++p) {
+          threads.emplace_back([&, p] {
+            const std::vector<Element>& lane = lanes[p];
+            // Mix the per-element and batched entry points: lane order
+            // must hold across both.
+            const size_t split = lane.size() / 3;
+            for (size_t t = 0; t < split; ++t) sketch.Update(lane[t], p);
+            const size_t chunk = 100;  // several sub-batches per queue
+            for (size_t t = split; t < lane.size(); t += chunk) {
+              sketch.UpdateBatch(lane.data() + t,
+                                 std::min(chunk, lane.size() - t), p);
+            }
+            sketch.FlushProducer(p);
+          });
+        }
+        for (std::thread& t : threads) t.join();
+        sketch.Flush();
+        EXPECT_FALSE(sketch.HasPendingIngest());
+        ExpectStateIdentical(sketch, reference,
+                             "producers=" + std::to_string(producers) +
+                                 " shards=" + std::to_string(shards) +
+                                 " capacity=" + std::to_string(capacity));
+      }
+    }
+  }
+}
+
+/// Flush under back-pressure: capacity-1 queues with tiny batches force
+/// producers to block on full queues repeatedly, while each lane calls
+/// FlushProducer mid-stream with every other lane still feeding. The
+/// barrier must neither deadlock nor lose elements.
+TEST(ShardedVosSketchTest, FlushProducerUnderBackPressure) {
+  const UserId users = 48;
+  const unsigned producers = 4;
+  const uint32_t shards = 4;
+  const std::vector<Element> elements = DynamicStream(users, 4000, 13);
+  const std::vector<std::vector<Element>> lanes =
+      SplitByProducer(elements, producers);
+
+  ShardedVosSketch reference(TestConfig(shards, 0), users);
+  for (const std::vector<Element>& lane : lanes) {
+    reference.UpdateBatch(lane.data(), lane.size());
+  }
+
+  ShardedVosConfig config = TestConfig(shards, /*threads=*/2);
+  config.ingest_producers = producers;
+  config.queue_capacity = 1;  // every second sub-batch blocks the lane
+  config.batch_size = 8;
+  ShardedVosSketch sketch(config, users);
+  // HasPendingIngest is polled concurrently with the feeding lanes: the
+  // answer is advisory mid-ingest, but the read itself must be race-free
+  // (this is what the TSAN job checks here).
+  std::atomic<bool> stop_polling{false};
+  std::thread monitor([&] {
+    while (!stop_polling.load()) (void)sketch.HasPendingIngest();
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::vector<Element>& lane = lanes[p];
+      for (size_t t = 0; t < lane.size(); ++t) {
+        sketch.Update(lane[t], p);
+        // A mid-stream flush per ~quarter: the lane barrier must complete
+        // while the other three lanes keep their queues saturated.
+        if (t % (lane.size() / 4 + 1) == 0) sketch.FlushProducer(p);
+      }
+      sketch.FlushProducer(p);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop_polling.store(true);
+  monitor.join();
+  sketch.Flush();
+  EXPECT_FALSE(sketch.HasPendingIngest());
+  ExpectStateIdentical(sketch, reference, "flush-under-back-pressure");
+}
+
+TEST(ShardedVosSketchTest, SyncModeForcesSingleProducerLane) {
+  ShardedVosConfig config = TestConfig(4, /*threads=*/0);
+  config.ingest_producers = 8;
+  const ShardedVosSketch sketch(config, 16);
+  EXPECT_EQ(sketch.num_producers(), 1u)
+      << "inline ingestion is single-threaded by contract";
+}
+
 TEST(ShardedVosSketchTest, CrossShardEstimatesTrackExactTruth) {
   // Two users with a planted 60% overlap, plus background fill. Whatever
   // shards they land in, the cross-shard estimator should recover the
@@ -380,6 +569,44 @@ TEST(ShardedVosMethodTest, CachedAndUncachedEstimatesAgree) {
   method.InvalidateQueryCache();
   EXPECT_EQ(method.EstimatePair(tracked[0], tracked[1]).common,
             uncached[0].common);
+}
+
+/// Producer-lane plumbing through the SimilarityMethod interface: driving
+/// "VOS-sharded" with concurrent lanes via the base-class virtuals lands
+/// on the state of the default single-producer path.
+TEST(ShardedVosMethodTest, ProducerLaneIngestMatchesSingleProducer) {
+  const UserId users = 40;
+  const std::vector<Element> elements = DynamicStream(users, 4000, 29);
+  ShardedVosConfig config = TestConfig(4, /*threads=*/2);
+  config.ingest_producers = 3;
+
+  ShardedVosMethod reference(TestConfig(4, 0), users);
+  reference.UpdateBatch(elements.data(), elements.size());
+  reference.FlushIngest();
+
+  ShardedVosMethod method(config, users);
+  SimilarityMethod& base = method;  // exercise the virtual dispatch
+  EXPECT_EQ(base.ConcurrentIngestProducers(), 3u);
+  const std::vector<std::vector<Element>> lanes = SplitByProducer(elements, 3);
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < 3; ++p) {
+    threads.emplace_back([&, p] {
+      base.UpdateBatch(lanes[p].data(), lanes[p].size(), p);
+      base.FlushIngest(p);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  base.FlushIngest();
+
+  for (UserId u = 0; u < users; ++u) {
+    for (UserId v = u + 1; v < users; ++v) {
+      const PairEstimate expected = reference.EstimatePair(u, v);
+      const PairEstimate actual = method.EstimatePair(u, v);
+      ASSERT_EQ(actual.common, expected.common)
+          << "pair=(" << u << "," << v << ")";
+      ASSERT_EQ(actual.jaccard, expected.jaccard);
+    }
+  }
 }
 
 // ---------------------------------------------------------- dirty tracking

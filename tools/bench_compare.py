@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Diff bench JSON rows against a committed baseline.
+
+The bench binaries emit machine-readable rows via --json (one object per
+table row; see bench/bench_util.h MaybeEmitJson). CI uploads them as
+BENCH_*.json artifacts; this tool closes the loop by comparing a fresh
+run against the baseline committed under bench/baselines/, flagging any
+row whose throughput regressed by more than --max-regression (default
+20%).
+
+Rows are keyed by every identity column (bench, phase, engine, shards,
+producers, threads, unit — whichever are present), so a schema change
+that adds a column simply widens the key. Metric columns (seconds,
+throughput, speedup) never participate in the key.
+
+Exit status: 0 = no regressions, 1 = at least one flagged row, 2 = usage
+or file errors. Baseline rows missing from the new run are reported as
+warnings (a renamed engine should update the baseline); new rows absent
+from the baseline are listed informationally and pass.
+
+Throughput is machine-dependent: regenerate the baseline whenever the
+runner hardware changes (run the bench with the CI smoke flags and copy
+the JSON over bench/baselines/BENCH_<bench>.json).
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+METRIC_COLUMNS = frozenset({"seconds", "throughput", "speedup"})
+
+
+def row_key(row):
+    """Identity of a row: every non-metric column, sorted for stability."""
+    return tuple(
+        sorted((k, v) for k, v in row.items() if k not in METRIC_COLUMNS)
+    )
+
+
+def format_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as fp:
+        rows = json.load(fp)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of row objects")
+    indexed = {}
+    for row in rows:
+        key = row_key(row)
+        if key in indexed:
+            raise ValueError(f"{path}: duplicate row key ({format_key(key)})")
+        indexed[key] = row
+    return indexed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="flag rows whose throughput dropped by more than this "
+        "fraction of the baseline (default: 0.20)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load_rows(args.baseline)
+        current = load_rows(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    for key, base_row in sorted(baseline.items()):
+        new_row = current.get(key)
+        if new_row is None:
+            print(f"warning: baseline row missing from current run: "
+                  f"{format_key(key)}")
+            continue
+        base = base_row.get("throughput")
+        new = new_row.get("throughput")
+        if not isinstance(base, (int, float)) or not isinstance(
+                new, (int, float)) or base <= 0:
+            continue
+        compared += 1
+        ratio = new / base
+        if ratio < 1.0 - args.max_regression:
+            regressions.append((key, base, new, ratio))
+        elif ratio > 1.0:
+            improvements += 1
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note: new row not in baseline: {format_key(key)}")
+
+    for key, base, new, ratio in regressions:
+        print(f"REGRESSION ({(1.0 - ratio) * 100.0:.1f}% slower): "
+              f"{format_key(key)}: {base:.3g} -> {new:.3g}")
+
+    print(f"compared {compared} rows: {len(regressions)} regression(s) "
+          f"beyond {args.max_regression * 100.0:.0f}%, "
+          f"{improvements} improvement(s)")
+    if regressions:
+        print("if the regression is expected (or the runner hardware "
+              "changed), regenerate the baseline with the CI smoke flags "
+              "and commit it over bench/baselines/")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
