@@ -22,8 +22,19 @@
 // per-pair ShardedVosSketch::EstimatePair reference, before timing is
 // reported.
 //
+// The "hot_shard" phase is the tiled tier's acceptance signal
+// (core/pair_scan.h): the candidate set is skewed so one shard owns most
+// rows — before the tier that shard's triangle ran as ONE planner task
+// and serialized, so planner threads could not help; tiles are the work
+// unit now, so the same workload must show multi-thread scaling. The
+// "banding" phase measures opt-in LSH banding on the global index:
+// banded results are verified to be a subset of the exact pass with
+// bit-identical estimates, and the measured recall is reported as a
+// column (exact rows print 1.0000 by definition).
+//
 // Run: ./build/micro_query_path [--users=2000] [--k=6400] [--threads=8]
-//      [--tau=0.5] [--repeats=3] [--planner_threads=0] [--csv=out.csv]
+//      [--tau=0.5] [--repeats=3] [--planner_threads=0] [--tile_rows=0]
+//      [--banding_bands=16] [--banding_rows=8] [--csv=out.csv]
 
 #include <algorithm>
 #include <string>
@@ -112,14 +123,19 @@ int main(int argc, char** argv) {
       argc, argv,
       "[--users=N] [--edges_per_user=N] [--k=N] [--m=N] [--threads=N] "
       "[--tau=J] [--repeats=N] [--seed=N] [--dist=zipf|uniform] "
-      "[--planner_threads=N] [--planner_shards=N] "
-      "[--csv=path] [--json=path]");
+      "[--planner_threads=N] [--planner_shards=N] [--tile_rows=N] "
+      "[--banding_bands=N] [--banding_rows=N] [--csv=path] [--json=path]");
   const auto users = static_cast<UserId>(flags.GetInt("users", 2000));
   const auto edges_per_user =
       static_cast<size_t>(flags.GetInt("edges_per_user", 200));
   const auto threads = static_cast<unsigned>(flags.GetInt("threads", 8));
   const double tau = flags.GetDouble("tau", 0.5);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 5));
+  const auto tile_rows = static_cast<size_t>(flags.GetInt("tile_rows", 0));
+  const auto banding_bands =
+      static_cast<uint32_t>(flags.GetInt("banding_bands", 16));
+  const auto banding_rows =
+      static_cast<uint32_t>(flags.GetInt("banding_rows", 8));
   const std::string dist = flags.GetString("dist", "zipf");
   VOS_CHECK(dist == "zipf" || dist == "uniform")
       << "--dist must be zipf or uniform, got" << dist;
@@ -145,11 +161,15 @@ int main(int argc, char** argv) {
               sketch.beta(), users, num_pairs, tau);
 
   TablePrinter table({"phase", "engine", "threads", "seconds", "throughput",
-                      "unit", "speedup"});
+                      "unit", "speedup", "recall"});
   std::vector<std::vector<std::string>> rows;
-  auto emit = [&](const std::string& phase, const std::string& engine,
-                  unsigned nthreads, double seconds, double throughput,
-                  const std::string& unit, double speedup) {
+  // `recall` is 1.0 by definition for every exact path; the banding phase
+  // overrides it with the measured banded-vs-exact fraction.
+  auto emit_with_recall = [&](const std::string& phase,
+                              const std::string& engine, unsigned nthreads,
+                              double seconds, double throughput,
+                              const std::string& unit, double speedup,
+                              double recall) {
     std::vector<std::string> row = {
         phase,
         engine,
@@ -157,9 +177,16 @@ int main(int argc, char** argv) {
         TablePrinter::FormatDouble(seconds, 4),
         TablePrinter::FormatDouble(throughput, 4),
         unit,
-        TablePrinter::FormatDouble(speedup, 3)};
+        TablePrinter::FormatDouble(speedup, 3),
+        TablePrinter::FormatDouble(recall, 4)};
     table.AddRow(row);
     rows.push_back(std::move(row));
+  };
+  auto emit = [&](const std::string& phase, const std::string& engine,
+                  unsigned nthreads, double seconds, double throughput,
+                  const std::string& unit, double speedup) {
+    emit_with_recall(phase, engine, nthreads, seconds, throughput, unit,
+                     speedup, 1.0);
   };
 
   // ------------------------------------------------------ digest extraction
@@ -184,6 +211,7 @@ int main(int argc, char** argv) {
   // ----------------------------------------------------------- all-pairs
   QueryOptions query_options;
   query_options.num_threads = threads;
+  query_options.tile_rows = tile_rows;
   SimilarityIndex index(sketch, {}, query_options);
   index.Rebuild(candidates);
 
@@ -264,6 +292,7 @@ int main(int argc, char** argv) {
 
     QueryOptions planner_options;
     planner_options.num_threads = planner_threads;
+    planner_options.tile_rows = tile_rows;
     QueryPlanner planner(sharded_sketch, {}, planner_options);
     planner.Rebuild(candidates);
 
@@ -310,9 +339,133 @@ int main(int argc, char** argv) {
          "pairs/s", speedup);
   }
 
+  // ------------------------------------------------------ hot-shard tiling
+  // Skewed candidate set: every user of shard 0 plus a 1-in-8 sprinkle of
+  // the rest, so shard 0's triangle dominates the pair space. Pre-tier
+  // that triangle was ONE planner task — threads>1 bought nothing here;
+  // the tiled tier must show multi-thread scaling on exactly this
+  // workload (the speedup column divides by the 1-thread time).
+  {
+    ShardedVosConfig sharded;
+    sharded.base = config;
+    sharded.num_shards = 4;
+    ShardedVosSketch hot_sketch(sharded, users);
+    hot_sketch.UpdateBatch(elements.data(), elements.size());
+    std::vector<UserId> hot_candidates;
+    size_t hot_rows = 0;
+    for (UserId u = 0; u < users; ++u) {
+      const bool hot = hot_sketch.ShardOf(u) == 0;
+      if (hot || u % 8 == 0) {
+        hot_candidates.push_back(u);
+        if (hot) ++hot_rows;
+      }
+    }
+    const double hot_n = static_cast<double>(hot_candidates.size());
+    const double hot_pairs = 0.5 * hot_n * (hot_n - 1.0);
+
+    QueryOptions hot_base;
+    hot_base.tile_rows = tile_rows;
+    hot_base.num_threads = 1;
+    QueryPlanner hot_single(hot_sketch, {}, hot_base);
+    hot_single.Rebuild(hot_candidates);
+    const auto hot_reference = hot_single.AllPairsAbove(tau);
+
+    std::printf("\nhot_shard workload: %zu candidates, %zu (%.0f%%) in "
+                "shard 0 — pre-tier this triangle serialized as one task.\n",
+                hot_candidates.size(), hot_rows,
+                100.0 * static_cast<double>(hot_rows) / hot_n);
+
+    double hot_base_seconds = 0.0;
+    for (const unsigned t : {1u, threads}) {
+      QueryOptions hot_options = hot_base;
+      hot_options.num_threads = t;
+      QueryPlanner hot_planner(hot_sketch, {}, hot_options);
+      hot_planner.Rebuild(hot_candidates);
+      // Bit-identity across thread counts on the skewed workload before
+      // any timing — the tiles repartition the triangle, never its output.
+      const auto hot_result = hot_planner.AllPairsAbove(tau);
+      VOS_CHECK(hot_result.size() == hot_reference.size())
+          << "hot-shard result depends on thread count";
+      for (size_t i = 0; i < hot_result.size(); ++i) {
+        VOS_CHECK(hot_result[i].u == hot_reference[i].u &&
+                  hot_result[i].v == hot_reference[i].v &&
+                  hot_result[i].common == hot_reference[i].common &&
+                  hot_result[i].jaccard == hot_reference[i].jaccard)
+            << "hot-shard pair " << i << " differs across thread counts";
+      }
+      const double hot_seconds = BestSeconds(repeats, [&] {
+        (void)hot_planner.AllPairsAbove(tau);
+      });
+      if (t == 1) hot_base_seconds = hot_seconds;
+      emit("hot_shard", "planner-s4-hot", t, hot_seconds,
+           hot_pairs / hot_seconds, "pairs/s", hot_base_seconds / hot_seconds);
+      if (threads == 1) break;
+    }
+  }
+
+  // ----------------------------------------------------------- banding
+  // Opt-in LSH banding on the global index: the banded result must be a
+  // subset of the exact pass with bit-identical per-pair estimates
+  // (precision 1), so recall = banded/exact — measured here and reported
+  // as a column, never assumed.
+  if (banding_bands > 0) {
+    const auto exact_pairs = index.AllPairsAbove(tau);
+    QueryOptions banded_options = query_options;
+    banded_options.banding_bands = banding_bands;
+    banded_options.banding_rows_per_band = banding_rows;
+    SimilarityIndex banded(sketch, {}, banded_options);
+    banded.Rebuild(candidates);
+    const auto banded_pairs = banded.AllPairsAbove(tau);
+    // Subset + identical-estimate verification before timing.
+    {
+      size_t ei = 0;
+      std::vector<SimilarityIndex::Pair> exact_sorted = exact_pairs;
+      std::vector<SimilarityIndex::Pair> banded_sorted = banded_pairs;
+      const auto by_ids = [](const SimilarityIndex::Pair& a,
+                             const SimilarityIndex::Pair& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      };
+      std::sort(exact_sorted.begin(), exact_sorted.end(), by_ids);
+      std::sort(banded_sorted.begin(), banded_sorted.end(), by_ids);
+      for (const auto& pair : banded_sorted) {
+        while (ei < exact_sorted.size() && by_ids(exact_sorted[ei], pair)) {
+          ++ei;
+        }
+        VOS_CHECK(ei < exact_sorted.size() &&
+                  exact_sorted[ei].u == pair.u && exact_sorted[ei].v == pair.v)
+            << "banded pair not in the exact result — precision must be 1";
+        VOS_CHECK(exact_sorted[ei].common == pair.common &&
+                  exact_sorted[ei].jaccard == pair.jaccard)
+            << "banded estimate differs from the exact pass";
+      }
+    }
+    const double recall =
+        exact_pairs.empty() ? 1.0
+                            : static_cast<double>(banded_pairs.size()) /
+                                  static_cast<double>(exact_pairs.size());
+    const double exact_seconds = BestSeconds(repeats, [&] {
+      (void)index.AllPairsAbove(tau);
+    });
+    const double banded_seconds = BestSeconds(repeats, [&] {
+      (void)banded.AllPairsAbove(tau);
+    });
+    emit("banding", "exact", threads, exact_seconds,
+         num_pairs / exact_seconds, "pairs/s", 1.0);
+    emit_with_recall(
+        "banding",
+        "banded-b" + std::to_string(banding_bands) + "r" +
+            std::to_string(banding_rows),
+        threads, banded_seconds, num_pairs / banded_seconds, "pairs/s",
+        exact_seconds / banded_seconds, recall);
+    std::printf("\nbanding b=%u r=%u: recall %.4f (%zu of %zu exact pairs), "
+                "%.2fx vs the exact tiled pass.\n",
+                banding_bands, banding_rows, recall, banded_pairs.size(),
+                exact_pairs.size(), exact_seconds / banded_seconds);
+  }
+
   const std::vector<std::string> header = {
       "phase", "engine", "threads", "seconds", "throughput", "unit",
-      "speedup"};
+      "speedup", "recall"};
   EmitTable(flags, table, header, rows);
   MaybeEmitJson(flags, "micro_query_path", header, rows);
   std::printf("\n%zu pairs above tau=%.2f; batch results verified "

@@ -141,12 +141,14 @@ int main() {
       }
     }
   }
-  vos::core::SimilarityIndex vos_index(vos_method.sketch());
   std::vector<UserId> docs;
   for (UserId doc = 0; doc < kDocs; ++doc) docs.push_back(doc);
+  // MakeIndex builds the snapshot with the method's QueryOptions, so
+  // factory-style knobs (tile_rows, banding_*) would govern this scan.
+  const auto vos_index = vos_method.MakeIndex(docs);
 
   auto report = [&](const char* phase) {
-    const Quality vq = ScoreVosBatch(vos_index, docs, exact);
+    const Quality vq = ScoreVosBatch(*vos_index, docs, exact);
     const Quality mq = Score(minhash, exact);
     double true_j = 0;
     for (UserId a = 0; a < kDocs; a += 3) {

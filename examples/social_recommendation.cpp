@@ -16,6 +16,7 @@
 // Run: ./build/examples/social_recommendation
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/similarity_index.h"
@@ -49,10 +50,11 @@ int main() {
   std::vector<UserId> candidates;
   for (UserId u = 0; u < 64; ++u) candidates.push_back(u);
 
-  // The batch query engine: Rebuild() snapshots every candidate digest
-  // once per checkpoint (thread-parallel), then TopK is a handful of row
-  // kernels instead of per-pair sketch reconstructions.
-  SimilarityIndex index(method.sketch());
+  // The batch query engine: MakeIndex builds a snapshot configured with
+  // the method's QueryOptions; Rebuild() re-snapshots every candidate
+  // digest once per checkpoint (thread-parallel), then TopK is a handful
+  // of row kernels instead of per-pair sketch reconstructions.
+  const std::unique_ptr<SimilarityIndex> index = method.MakeIndex(candidates);
 
   // Replay the stream; at a few checkpoints, surface neighbors and
   // recommendations.
@@ -64,8 +66,8 @@ int main() {
 
     std::printf("=== t = %zu (focal user %u follows %u channels) ===\n",
                 t + 1, focal, method.sketch().Cardinality(focal));
-    index.Rebuild(candidates);
-    const auto peers = index.TopK(focal, 3);
+    index->Rebuild(candidates);
+    const auto peers = index->TopK(focal, 3);
     for (const SimilarityIndex::Entry& peer : peers) {
       std::printf("  peer %3u: estimated J = %.3f (exact %.3f)\n", peer.user,
                   peer.jaccard, exact.Jaccard(focal, peer.user));

@@ -1,0 +1,163 @@
+// The shared pair-scan tier: tiled enumeration of triangle and rectangle
+// pair spaces over cardinality-sorted DigestMatrix snapshots.
+//
+// Before this tier existed the all-pairs scan lived twice — once in
+// SimilarityIndex::AllPairsAbove (the same-shard/global triangle) and
+// once in QueryPlanner's cross-shard passes (the rectangle) — so every
+// scan improvement had to be implemented and verified twice. Both call
+// sites now describe their work as `Pass`es and hand them to RunPasses,
+// which
+//
+//   * decomposes every pass into cache-sized row×row tiles
+//     (`QueryOptions::tile_rows` per edge): a tile's two row ranges stay
+//     resident while its pairs are popcounted, so candidate sets larger
+//     than the LLC stop thrashing, and a skewed ("hot") shard's triangle
+//     becomes many independent work units instead of one serialized pass;
+//   * runs the conservative prefilters per tile — the τ cardinality
+//     window (one-sided over a triangle, two-sided over a rectangle,
+//     both partition points over the sorted rows), the ~3/4-row
+//     confinement check, and the exact log-alpha screen, all against the
+//     pass's combined log-beta cut (core/scan_common.h) — and skips
+//     whole tiles that no row's window reaches;
+//   * dispatches the tiles of ALL passes to one dynamic worker pool
+//     (scan::RunIndexed), merging per-unit outputs in unit order so the
+//     result is independent of thread count and schedule (callers sort
+//     with scan::PairBefore, a total order on unique pairs).
+//
+// The exact tiled path is bit-identical to the pre-tier scans for every
+// tile size, thread count and prefilter setting: tiles partition exactly
+// the same pair set, every surviving pair's Hamming distance is the same
+// integer, and the estimate is the same EstimateFromLogTerms call
+// (tests/pair_scan_test.cc asserts this across the full matrix).
+//
+// On top of the same pass plumbing sits opt-in LSH banding
+// (`QueryOptions::banding_bands` > 0): BandingTable slices the leading
+// banding_bands × banding_rows_per_band digest bits into per-band keys
+// at snapshot time, and a banded pass enumerates only bucket-colliding
+// pairs instead of tiles. Banding trades recall for enumeration — a pair
+// that collides in no band is never estimated — but never precision:
+// every reported pair carries the exact estimate the full scan would
+// have produced, so the banded result is a subset of the exact result
+// and recall is measurable against it (the banding recall contract,
+// src/core/README.md).
+//
+// Internal to core/; not part of the public query API.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/digest_matrix.h"
+#include "core/scan_common.h"
+#include "core/vos_estimator.h"
+
+namespace vos::core::pair_scan {
+
+/// Default tile edge: 256 rows ≈ 200 KiB per side at k = 6400, so a
+/// tile's working set stays L2-resident on common parts.
+inline constexpr size_t kDefaultTileRows = 256;
+
+/// Resolves a QueryOptions::tile_rows request (0 = the default above).
+inline size_t ResolveTileRows(size_t requested) {
+  return requested == 0 ? kDefaultTileRows : requested;
+}
+
+/// One side of a pass: a cardinality-sorted digest snapshot. `cards`
+/// must hold matrix->rows() non-decreasing values aligned with the rows.
+struct MatrixView {
+  const DigestMatrix* matrix = nullptr;
+  const uint32_t* cards = nullptr;
+  size_t rows() const { return matrix == nullptr ? 0 : matrix->rows(); }
+};
+
+/// LSH banding index over one digest snapshot: band b's key is bits
+/// [b·rows_per_band, (b+1)·rows_per_band) of each row ("rows per band"
+/// in the classic LSH sense — each digest bit is one parity row, agreed
+/// on by a pair with probability 1−α). Keys are compared raw, so tables
+/// built over different shards' snapshots are join-compatible (the
+/// digest bit domain Ô_u is shared across shards). Built at
+/// Rebuild/Refresh time by SimilarityIndex when banding is enabled.
+class BandingTable {
+ public:
+  BandingTable() = default;
+
+  /// Indexes every row of `matrix`. `rows_per_band` ∈ [1, 64]; `bands`
+  /// is clamped so bands · rows_per_band ≤ k (at least one band fits
+  /// because rows_per_band ≤ 64 ≤ k for any real sketch).
+  BandingTable(const DigestMatrix& matrix, uint32_t bands,
+               uint32_t rows_per_band);
+
+  uint32_t bands() const { return bands_; }
+  uint32_t rows_per_band() const { return rows_per_band_; }
+  size_t rows() const { return rows_; }
+  bool empty() const { return bands_ == 0 || rows_ == 0; }
+
+  /// All unordered row pairs (p < q) colliding in at least one band,
+  /// sorted ascending and deduplicated — the triangle pass's candidate
+  /// list. Complexity O(bands · rows log rows + candidates); identical
+  /// digests all land in one bucket, so degenerate snapshots (many
+  /// all-zero rows) can produce quadratically many candidates.
+  std::vector<std::pair<uint32_t, uint32_t>> TriangleCandidates() const;
+
+  /// All (row of a, row of b) pairs colliding in at least one band —
+  /// the rectangle pass's candidate list (merge-join per band; the two
+  /// tables must share bands()/rows_per_band()).
+  static std::vector<std::pair<uint32_t, uint32_t>> RectangleCandidates(
+      const BandingTable& a, const BandingTable& b);
+
+ private:
+  uint32_t bands_ = 0;
+  uint32_t rows_per_band_ = 0;
+  size_t rows_ = 0;
+  /// Per-band segments of (key, row), each segment sorted by (key, row):
+  /// band b owns entries_[b·rows_ .. (b+1)·rows_).
+  std::vector<std::pair<uint64_t, uint32_t>> entries_;
+};
+
+/// Everything the estimate/prefilter math shares across the passes of
+/// one query (the per-pass β term lives on the Pass).
+struct ScanParams {
+  double jaccard_threshold = 0.0;
+  /// Pre-resolved via scan::PrefilterApplies — the tier never second-
+  /// guesses the clamp gating.
+  bool prefilter = false;
+  const VosEstimator* estimator = nullptr;
+  /// ln|1−2·d/k| per Hamming distance d ∈ [0, k].
+  const std::vector<double>* log_alpha_table = nullptr;
+};
+
+/// One unit of query work: a triangle scan over a (same-shard / global
+/// all-pairs, pairs p < q) or a rectangle scan a × b (cross-shard).
+/// `emit` translates surviving (row p of a, row q of b, estimate) into a
+/// caller-oriented scan::Pair; it is called only for pairs at or above
+/// the threshold, under no lock (each work unit owns its output buffer).
+struct Pass {
+  MatrixView a;
+  MatrixView b;  ///< == a for triangle passes
+  bool triangle = false;
+  /// The log-beta term handed to EstimateFromLogTerms: the snapshot's
+  /// own term for a triangle, the mean of the two shards' terms for a
+  /// cross-shard rectangle.
+  double log_beta_pair = 0.0;
+  /// Banding tables of the two sides (null = exact enumeration). Both
+  /// must be set, with equal geometry, for a banded rectangle.
+  const BandingTable* banding_a = nullptr;
+  const BandingTable* banding_b = nullptr;
+  std::function<void(size_t p, size_t q, const PairEstimate& est,
+                     std::vector<scan::Pair>& out)>
+      emit;
+};
+
+/// Runs every pass — tiled when exact, bucket-driven when banded — over
+/// one dynamic worker pool of `num_threads` (0 = hardware concurrency,
+/// clamped to the unit count). Returns all emitted pairs concatenated in
+/// deterministic (pass, unit) order; callers sort with scan::PairBefore.
+std::vector<scan::Pair> RunPasses(const std::vector<Pass>& passes,
+                                  const ScanParams& params, size_t tile_rows,
+                                  unsigned num_threads);
+
+}  // namespace vos::core::pair_scan

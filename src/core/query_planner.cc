@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/popcount.h"
+#include "core/pair_scan.h"
 #include "core/scan_common.h"
 
 namespace vos::core {
@@ -89,167 +90,74 @@ UserId QueryPlanner::GlobalOfRow(uint32_t s, size_t p) const {
   return sketch_->GlobalUserOf(s, local);
 }
 
-void QueryPlanner::AppendSameShardPairs(uint32_t s,
-                                        std::vector<Pair> local_pairs,
-                                        std::vector<Pair>* out) const {
-  out->reserve(out->size() + local_pairs.size());
-  for (const Pair& pair : local_pairs) {
-    const UserId gu = sketch_->GlobalUserOf(s, pair.u);
-    const UserId gv = sketch_->GlobalUserOf(s, pair.v);
-    out->push_back({std::min(gu, gv), std::max(gu, gv), pair.common,
-                    pair.jaccard});
-  }
-}
-
-void QueryPlanner::ScanCrossShardBlock(uint32_t s, uint32_t t, size_t begin,
-                                       size_t end, double jaccard_threshold,
-                                       std::vector<Pair>* out) const {
-  const SimilarityIndex& ia = *indexes_[s];
-  const SimilarityIndex& ib = *indexes_[t];
-  const DigestMatrix& ma = ia.matrix();
-  const DigestMatrix& mb = ib.matrix();
-  const size_t nb = mb.rows();
-  if (nb == 0 || begin >= end) return;
-  const size_t words = ma.words_per_row();
-  const uint32_t k = ma.k();
-  const std::vector<uint32_t>& cards_b = ib.row_cardinalities();
-  // Cross-shard β correction: each digest carries its own shard's
-  // contamination, so the estimator takes the mean of the two log-beta
-  // terms — identical to ShardedVosSketch::EstimatePair.
-  const double log_beta_pair =
-      0.5 * (ia.log_beta_term() + ib.log_beta_term());
-
-  const auto emit = [&](size_t p, size_t q, const PairEstimate& est) {
-    const UserId gu = GlobalOfRow(s, p);
-    const UserId gv = GlobalOfRow(t, q);
-    out->push_back({std::min(gu, gv), std::max(gu, gv), est.common,
-                    est.jaccard});
-  };
-
-  // Same gating and slack regime as SimilarityIndex::ScanSortedBlock: the
-  // prefilter is sound only on the clamped estimator path.
-  const bool prefilter = query_options_.prefilter &&
-                         estimator_.options().clamp_to_feasible &&
-                         jaccard_threshold > 1e-5;
-  if (!prefilter) {
-    for (size_t p = begin; p < end; ++p) {
-      const uint64_t* row_a = ma.Row(p);
-      const double card_a = ia.row_cardinality(p);
-      for (size_t q = 0; q < nb; ++q) {
-        const size_t d = XorPopcount(row_a, mb.Row(q), words);
-        const PairEstimate est = estimator_.EstimateFromLogTerms(
-            card_a, cards_b[q], log_alpha_table_[d], log_beta_pair);
-        if (est.jaccard >= jaccard_threshold) emit(p, q, est);
-      }
-    }
-    return;
-  }
-
-  const double tau_frac = jaccard_threshold / (1.0 + jaccard_threshold);
-  const size_t phase1_words = scan::Phase1Words(words);
-  const bool split = phase1_words != words;
-  const size_t phase1_bits = std::min<size_t>(phase1_words * 64, k);
-  const double cut_scale = scan::CutScale(tau_frac, k);
-
-  for (size_t p = begin; p < end; ++p) {
-    const uint64_t* row_a = ma.Row(p);
-    const double card_a = ia.row_cardinality(p);
-    // Two-sided admissible window over B's cardinality-sorted rows. The
-    // same conservative min-bound as the same-shard sweep
-    // (scan::CardinalityFail), applied from both ends: below the window
-    // the partner is the min and too small, above it card_a is the min
-    // and too small; both fail predicates are monotone in the partner's
-    // cardinality, so both ends are partition points and out-of-window
-    // pairs are never enumerated.
-    const auto lo_it = std::partition_point(
-        cards_b.begin(), cards_b.end(), [&](uint32_t card_j) {
-          return scan::CardinalityFail(card_j, card_a + card_j, tau_frac);
-        });
-    const auto hi_it =
-        std::partition_point(lo_it, cards_b.end(), [&](uint32_t card_j) {
-          return !scan::CardinalityFail(card_a, card_a + card_j, tau_frac);
-        });
-    size_t q = static_cast<size_t>(lo_it - cards_b.begin());
-    const size_t q_end = static_cast<size_t>(hi_it - cards_b.begin());
-
-    // Identical finish to the same-shard sweep, with the combined
-    // ln|1−2β_A| + ln|1−2β_B| cut standing in for 2·ln|1−2β|.
-    const auto finish = [&](size_t qq, size_t d) {
-      const double card_b = cards_b[qq];
-      const double cut = scan::SlackedCut(cut_scale * (card_a + card_b) +
-                                          2.0 * log_beta_pair);
-      if (scan::ConfinedFail(log_alpha_table_, k, d, phase1_bits, cut)) {
-        return;
-      }
-      size_t d_full = d;
-      if (split) {
-        d_full += XorPopcount(row_a + phase1_words,
-                              mb.Row(qq) + phase1_words,
-                              words - phase1_words);
-      }
-      if (log_alpha_table_[d_full] < cut) return;
-      const PairEstimate est = estimator_.EstimateFromLogTerms(
-          card_a, card_b, log_alpha_table_[d_full], log_beta_pair);
-      if (est.jaccard >= jaccard_threshold) emit(p, qq, est);
-    };
-
-    size_t d8[8];
-    for (; q + 8 <= q_end; q += 8) {
-      XorPopcount8(row_a, mb.Row(q), words, phase1_words, d8);
-      for (size_t i = 0; i < 8; ++i) finish(q + i, d8[i]);
-    }
-    for (; q < q_end; ++q) {
-      finish(q, XorPopcount(row_a, mb.Row(q), phase1_words));
-    }
-  }
-}
-
 std::vector<QueryPlanner::Pair> QueryPlanner::AllPairsAbove(
     double jaccard_threshold) const {
   std::vector<Pair> pairs;
   const uint32_t num_shards = sketch_->num_shards();
-  // Task list: one same-shard pass per shard (the index's own sweep,
-  // single-threaded) plus cross-shard (s, t) passes split into row
-  // blocks of shard s for balance.
-  std::vector<PairTask> tasks;
-  for (uint32_t s = 0; s < num_shards; ++s) {
-    if (indexes_[s]->candidate_count() >= 2) {
-      tasks.push_back({s, s, 0, 0, true});
-    }
-  }
-  const size_t block = std::max<size_t>(query_options_.block_size, 1);
-  for (uint32_t s = 0; s < num_shards; ++s) {
-    const size_t rows_s = indexes_[s]->matrix().rows();
-    if (rows_s == 0) continue;
-    for (uint32_t t = s + 1; t < num_shards; ++t) {
-      if (indexes_[t]->matrix().rows() == 0) continue;
-      for (size_t b = 0; b < rows_s; b += block) {
-        tasks.push_back({s, t, b, std::min(rows_s, b + block), false});
-      }
-    }
-  }
-  if (tasks.empty()) return pairs;
+  // Describe the whole pair space as pair_scan passes: one triangle per
+  // shard plus one rectangle per shard pair. The tier decomposes every
+  // pass into tiles and dispatches them to ONE pool, so a hot shard's
+  // triangle runs as many units instead of one serialized task.
+  pair_scan::ScanParams params;
+  params.jaccard_threshold = jaccard_threshold;
+  params.prefilter =
+      scan::PrefilterApplies(query_options_.prefilter,
+                             estimator_.options().clamp_to_feasible,
+                             jaccard_threshold);
+  params.estimator = &estimator_;
+  params.log_alpha_table = &log_alpha_table_;
 
-  std::vector<std::vector<Pair>> per_task(tasks.size());
-  RunTasks(ResolveThreadCount(query_options_.num_threads, tasks.size()),
-           tasks.size(), [&](size_t i) {
-             const PairTask& task = tasks[i];
-             if (task.same_shard) {
-               AppendSameShardPairs(
-                   task.s, indexes_[task.s]->AllPairsAbove(jaccard_threshold),
-                   &per_task[i]);
-             } else {
-               ScanCrossShardBlock(task.s, task.t, task.row_begin,
-                                   task.row_end, jaccard_threshold,
-                                   &per_task[i]);
-             }
-           });
-  size_t total = 0;
-  for (const auto& chunk : per_task) total += chunk.size();
-  pairs.reserve(total);
-  for (const auto& chunk : per_task) {
-    pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+  std::vector<pair_scan::Pass> passes;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const SimilarityIndex& index = *indexes_[s];
+    if (index.matrix().rows() < 2) continue;
+    pair_scan::Pass pass;
+    pass.a = pass.b = pair_scan::MatrixView{&index.matrix(),
+                                            index.row_cardinalities().data()};
+    pass.triangle = true;
+    pass.log_beta_pair = index.log_beta_term();
+    pass.banding_a = pass.banding_b = index.banding_table();
+    pass.emit = [this, s](size_t p, size_t q, const PairEstimate& est,
+                          std::vector<Pair>& out) {
+      const UserId gu = GlobalOfRow(s, p);
+      const UserId gv = GlobalOfRow(s, q);
+      out.push_back({std::min(gu, gv), std::max(gu, gv), est.common,
+                     est.jaccard});
+    };
+    passes.push_back(std::move(pass));
   }
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const SimilarityIndex& ia = *indexes_[s];
+    if (ia.matrix().rows() == 0) continue;
+    for (uint32_t t = s + 1; t < num_shards; ++t) {
+      const SimilarityIndex& ib = *indexes_[t];
+      if (ib.matrix().rows() == 0) continue;
+      pair_scan::Pass pass;
+      pass.a = pair_scan::MatrixView{&ia.matrix(),
+                                     ia.row_cardinalities().data()};
+      pass.b = pair_scan::MatrixView{&ib.matrix(),
+                                     ib.row_cardinalities().data()};
+      pass.triangle = false;
+      // Cross-shard β correction: each digest carries its own shard's
+      // contamination, so the estimator takes the mean of the two
+      // log-beta terms — identical to ShardedVosSketch::EstimatePair.
+      pass.log_beta_pair = 0.5 * (ia.log_beta_term() + ib.log_beta_term());
+      pass.banding_a = ia.banding_table();
+      pass.banding_b = ib.banding_table();
+      pass.emit = [this, s, t](size_t p, size_t q, const PairEstimate& est,
+                               std::vector<Pair>& out) {
+        const UserId gu = GlobalOfRow(s, p);
+        const UserId gv = GlobalOfRow(t, q);
+        out.push_back({std::min(gu, gv), std::max(gu, gv), est.common,
+                       est.jaccard});
+      };
+      passes.push_back(std::move(pass));
+    }
+  }
+  if (passes.empty()) return pairs;
+
+  pairs = pair_scan::RunPasses(passes, params, query_options_.tile_rows,
+                               query_options_.num_threads);
   std::sort(pairs.begin(), pairs.end(), PairBefore);
   return pairs;
 }
@@ -257,6 +165,37 @@ std::vector<QueryPlanner::Pair> QueryPlanner::AllPairsAbove(
 std::vector<QueryPlanner::Entry> QueryPlanner::TopK(UserId query,
                                                     size_t k) const {
   if (k == 0 || candidates_.empty()) return {};
+  // Warm seed: the explicit knob and/or the planner-remembered previous
+  // k-th best. Only meaningful where pruning runs at all (clamped path).
+  double seed = -1.0;
+  if (estimator_.options().clamp_to_feasible) {
+    if (query_options_.topk_warm_threshold > 0.0) {
+      seed = query_options_.topk_warm_threshold;
+    }
+    if (query_options_.topk_warm_start) {
+      std::lock_guard<std::mutex> lock(warm_mutex_);
+      const auto it = warm_topk_bounds_.find(WarmKey(query, k));
+      if (it != warm_topk_bounds_.end()) seed = std::max(seed, it->second);
+    }
+  }
+  std::vector<Entry> result = TopKImpl(query, k, seed);
+  if (seed > 0.0 && !(result.size() == k && result.back().jaccard >= seed)) {
+    // The optimistic seed over-pruned (data drifted below the previous
+    // checkpoint's k-th best, or the caller guessed high): rerun cold.
+    // Every seed-driven prune dropped only entries with Ĵ strictly below
+    // the seed, so when the verification above passes the warm result is
+    // bit-identical to this cold scan.
+    result = TopKImpl(query, k, -1.0);
+  }
+  if (query_options_.topk_warm_start && result.size() == k) {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    warm_topk_bounds_[WarmKey(query, k)] = result.back().jaccard;
+  }
+  return result;
+}
+
+std::vector<QueryPlanner::Entry> QueryPlanner::TopKImpl(
+    UserId query, size_t k, double warm_seed) const {
   const uint32_t query_shard = sketch_->ShardOf(query);
   const UserId query_local = sketch_->LocalIdOf(query);
   const SimilarityIndex& query_index = *indexes_[query_shard];
@@ -287,7 +226,7 @@ std::vector<QueryPlanner::Entry> QueryPlanner::TopK(UserId query,
   // falls below a published bound before popcounting. Strict-inequality
   // conservative ⇒ bit-identical to the unpruned scan for any schedule.
   const bool prune = estimator_.options().clamp_to_feasible;
-  std::atomic<double> bound{-1.0};
+  std::atomic<double> bound{warm_seed > 0.0 ? warm_seed : -1.0};
   const uint32_t num_shards = sketch_->num_shards();
   std::vector<std::vector<Entry>> per_shard(num_shards);
   RunTasks(

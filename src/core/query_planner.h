@@ -16,21 +16,29 @@
 //     fallback) — incremental maintenance never crosses a shard boundary.
 //
 //   * AllPairsAbove(τ) decomposes the pair space exactly: S same-shard
-//     passes (each shard index's own cardinality-sorted sweep, kernels,
-//     prefilter — unchanged) plus S·(S−1)/2 cross-shard passes that scan
-//     one shard's DigestMatrix against another's. Digests from different
-//     shards are XOR-comparable (shared ψ, equal k); only the β
-//     correction changes: each digest carries its own shard's
-//     contamination, so the §IV (1−2β)² factor generalizes to
-//     (1−2β_A)(1−2β_B) and the estimator receives the mean of the two
-//     log-beta terms. The conservative prefilters generalize too — the τ
-//     cardinality bound becomes a two-sided window over the partner
-//     shard's sorted rows (both matrices are cardinality-sorted, so both
-//     window ends are partition points), and the 3/4-row confinement
-//     check and exact log-alpha screen run with the combined
-//     ln|1−2β_A| + ln|1−2β_B| cut. Estimates are bit-identical to
-//     ShardedVosSketch::EstimatePair on the same quiesced state: the
-//     same log-alpha table, the same mean-log-beta combination.
+//     triangle passes plus S·(S−1)/2 cross-shard rectangle passes that
+//     scan one shard's DigestMatrix against another's, all described as
+//     pair_scan::Passes and run on the shared tiled scan tier
+//     (core/pair_scan.h) — every pass is decomposed into cache-sized
+//     row×row tiles dispatched to ONE worker pool, so a skewed ("hot")
+//     shard's triangle parallelizes across tiles instead of serializing
+//     as a single task. Digests from different shards are XOR-comparable
+//     (shared ψ, equal k); only the β correction changes: each digest
+//     carries its own shard's contamination, so the §IV (1−2β)² factor
+//     generalizes to (1−2β_A)(1−2β_B) and the estimator receives the
+//     mean of the two log-beta terms. The conservative prefilters
+//     generalize too — the τ cardinality bound becomes a two-sided
+//     window over the partner shard's sorted rows (both matrices are
+//     cardinality-sorted, so both window ends are partition points), and
+//     the 3/4-row confinement check and exact log-alpha screen run with
+//     the combined ln|1−2β_A| + ln|1−2β_B| cut. Estimates are
+//     bit-identical to ShardedVosSketch::EstimatePair on the same
+//     quiesced state: the same log-alpha table, the same mean-log-beta
+//     combination. With QueryOptions::banding_bands > 0 every pass runs
+//     banded instead (per-shard BandingTables built at Rebuild/Refresh;
+//     cross-shard passes merge-join two shards' tables): the result is a
+//     subset of the exact result with identical per-pair estimates — the
+//     banding recall contract, src/core/README.md.
 //
 //   * TopK(u, k) scatters the query digest to every shard index and
 //     gathers per-shard top-k lists under a shared global threshold
@@ -41,12 +49,13 @@
 //     Pruning is strict-inequality conservative, so the merged result is
 //     bit-identical to the unpruned scan for every schedule.
 //
-// Parallelism model: the planner parallelizes ACROSS tasks (shard passes,
-// cross-shard row blocks) with QueryOptions::num_threads workers; each
-// task runs single-threaded inside (per-shard indexes are configured with
-// one thread), so there is no nested oversubscription. With S == 1 the
-// planner degenerates to the single global index scanned by one task —
-// exactly the pre-sharding query path, which is what
+// Parallelism model: the planner parallelizes ACROSS scan units (the
+// tiles of every same-shard and cross-shard pass, QueryOptions::tile_rows
+// per tile edge) with QueryOptions::num_threads workers; each unit runs
+// single-threaded inside (per-shard indexes are configured with one
+// thread), so there is no nested oversubscription. With S == 1 the
+// planner degenerates to the single global index — tiled exactly as
+// SimilarityIndex::AllPairsAbove tiles it — which is what
 // bench/micro_query_path.cc measures shard scaling against.
 //
 // Results are global: pairs/entries carry global user ids (canonically
@@ -67,7 +76,10 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/sharded_vos_sketch.h"
@@ -109,6 +121,15 @@ class QueryPlanner {
 
   /// The `k` candidates most similar to `query` (global id; any user of
   /// the stream, candidate or not), excluding the query itself.
+  ///
+  /// Warm start: the shared raise-only bound can be seeded from
+  /// QueryOptions::topk_warm_threshold and/or (topk_warm_start) the
+  /// planner-remembered k-th best of the previous completed TopK for the
+  /// SAME (query, k) — bounds are keyed per query so a mixed query set
+  /// cannot cross-pollute. A seed is optimistic, never trusted: when the
+  /// merged result does not end with k entries at or above the seed, the
+  /// scan reruns cold — so the returned entries are bit-identical to a
+  /// cold start for every seed.
   std::vector<Entry> TopK(UserId query, size_t k) const;
 
   /// Ground truth: one ShardedVosSketch::EstimatePair call per candidate
@@ -140,28 +161,10 @@ class QueryPlanner {
   }
 
  private:
-  /// One unit of AllPairsAbove work: a same-shard pass (whole shard) or a
-  /// row block of a cross-shard (s, t) pass.
-  struct PairTask {
-    uint32_t s = 0;
-    uint32_t t = 0;
-    size_t row_begin = 0;  ///< rows of shard s's matrix (cross tasks)
-    size_t row_end = 0;
-    bool same_shard = false;
-  };
-
-  /// Scans rows [begin, end) of shard s's matrix against all rows of
-  /// shard t's matrix (s != t), appending passing pairs (global ids) to
-  /// `out`. Two-sided cardinality window + confinement prefilter, 1×8
-  /// kernels.
-  void ScanCrossShardBlock(uint32_t s, uint32_t t, size_t begin, size_t end,
-                           double jaccard_threshold,
-                           std::vector<Pair>* out) const;
-
-  /// Translates a same-shard index result to global ids, canonically
-  /// oriented.
-  void AppendSameShardPairs(uint32_t s, std::vector<Pair> local_pairs,
-                            std::vector<Pair>* out) const;
+  /// The TopK scatter–gather with the shared bound seeded at
+  /// `warm_seed` (≤ 0 = cold). A positive seed may prune entries the
+  /// final result needs, so TopK() verifies and reruns cold.
+  std::vector<Entry> TopKImpl(UserId query, size_t k, double warm_seed) const;
 
   /// Global id of shard s's matrix row p.
   UserId GlobalOfRow(uint32_t s, size_t p) const;
@@ -175,6 +178,18 @@ class QueryPlanner {
   /// ln|1−2·d/k| per Hamming distance d — shared by every cross-shard
   /// task (identical by construction to each index's internal table).
   std::vector<double> log_alpha_table_;
+  /// k-th best Ĵ of the last completed full-k TopK, keyed per
+  /// (query, k) — one shared bound would thrash between high- and
+  /// low-similarity queries and force a cold rerun on almost every call
+  /// of a mixed query set. The key packs both (a collision is harmless:
+  /// every seed is verified, so a wrong bound only costs a cold rerun,
+  /// never a result). Mutex-guarded because TopK is const and
+  /// concurrent-safe; the map is a verified hint either way.
+  static uint64_t WarmKey(UserId query, size_t k) {
+    return (uint64_t{query} << 32) | (k & 0xffffffffull);
+  }
+  mutable std::mutex warm_mutex_;
+  mutable std::unordered_map<uint64_t, double> warm_topk_bounds_;
 };
 
 }  // namespace vos::core

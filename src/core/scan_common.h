@@ -1,15 +1,18 @@
 // Shared building blocks of the pair-scan engines: SimilarityIndex's
-// same-shard sorted sweep and QueryPlanner's cross-shard passes.
+// same-shard sorted sweep and QueryPlanner's cross-shard passes, both of
+// which now run on the tiled scan tier in core/pair_scan.h.
 //
 // The planner's output is asserted bit-identical to the single-index
 // path, so everything both sweeps must agree on lives here exactly once:
-// the result total orders, the dynamic worker pool, and the conservative
-// prefilter math (slack regime, phase-split policy, confinement test).
-// Tuning any of these in one sweep but not the other would silently
-// diverge results under specific cardinality distributions — keeping
-// them in one header makes the lockstep structural.
+// the result record types and their total orders, the dynamic worker
+// pool, and the conservative prefilter math (slack regime, phase-split
+// policy, confinement test). Tuning any of these in one sweep but not
+// the other would silently diverge results under specific cardinality
+// distributions — keeping them in one header makes the lockstep
+// structural.
 //
-// Internal to core/; not part of the public query API.
+// Internal to core/; not part of the public query API (callers see the
+// records as SimilarityIndex::Entry / SimilarityIndex::Pair aliases).
 
 #pragma once
 
@@ -20,20 +23,33 @@
 #include <thread>
 #include <vector>
 
-#include "core/similarity_index.h"
+#include "stream/element.h"
 
 namespace vos::core::scan {
 
+/// One TopK answer (aliased as SimilarityIndex::Entry).
+struct Entry {
+  stream::UserId user = 0;  ///< the matched candidate
+  double common = 0.0;      ///< ŝ (estimated common items with the query)
+  double jaccard = 0.0;     ///< Ĵ
+};
+
+/// One thresholded pair (aliased as SimilarityIndex::Pair).
+struct Pair {
+  stream::UserId u = 0;
+  stream::UserId v = 0;
+  double common = 0.0;
+  double jaccard = 0.0;
+};
+
 /// Total order on TopK entries: Ĵ descending, then user ascending —
 /// batch, planner and scalar-reference results all sort to this.
-inline bool EntryBefore(const SimilarityIndex::Entry& a,
-                        const SimilarityIndex::Entry& b) {
+inline bool EntryBefore(const Entry& a, const Entry& b) {
   return a.jaccard != b.jaccard ? a.jaccard > b.jaccard : a.user < b.user;
 }
 
 /// Total order on thresholded pairs: Ĵ descending, then (u, v) ascending.
-inline bool PairBefore(const SimilarityIndex::Pair& a,
-                       const SimilarityIndex::Pair& b) {
+inline bool PairBefore(const Pair& a, const Pair& b) {
   if (a.jaccard != b.jaccard) return a.jaccard > b.jaccard;
   return a.u != b.u ? a.u < b.u : a.v < b.v;
 }
@@ -62,9 +78,18 @@ void RunIndexed(unsigned threads, size_t count, const Work& work) {
   for (std::thread& t : pool) t.join();
 }
 
-// --- Conservative prefilter math (see SimilarityIndex::ScanSortedBlock
-// for the full derivation; every slack is orders above FP rounding so no
+// --- Conservative prefilter math (see pair_scan.cc ScanTriangleTile for
+// the full derivation; every slack is orders above FP rounding so no
 // boundary pair the estimator would keep is ever dropped) --------------
+
+/// The prefilter's gating condition, resolved identically by every scan
+/// engine: the cardinality/alpha bounds are sound only where Ĵ is
+/// monotone in the clamped ŝ (clamp_to_feasible) and τ is meaningfully
+/// positive.
+inline bool PrefilterApplies(bool prefilter_requested, bool clamped,
+                             double jaccard_threshold) {
+  return prefilter_requested && clamped && jaccard_threshold > 1e-5;
+}
 
 /// The cardinality-bound fail test: a pair whose smaller (clamp-limited)
 /// cardinality is `min_card` cannot reach Ĵ ≥ τ when

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/popcount.h"
+#include "core/pair_scan.h"
 #include "core/scan_common.h"
 
 namespace vos::core {
@@ -133,6 +134,15 @@ void SimilarityIndex::Rebuild(std::vector<UserId> candidates) {
   }
   beta_ = sketch_->beta();
   log_beta_term_ = estimator_.LogBetaTerm(beta_);
+  RebuildBanding();
+}
+
+void SimilarityIndex::RebuildBanding() {
+  banding_ = query_options_.banding_bands > 0
+                 ? pair_scan::BandingTable(matrix_,
+                                           query_options_.banding_bands,
+                                           query_options_.banding_rows_per_band)
+                 : pair_scan::BandingTable();
 }
 
 bool SimilarityIndex::RefreshDirty() {
@@ -214,6 +224,7 @@ bool SimilarityIndex::RefreshDirty() {
   sketch_->ClearDirtyUsers();
   beta_ = sketch_->beta();
   log_beta_term_ = estimator_.LogBetaTerm(beta_);
+  RebuildBanding();
   return true;
 }
 
@@ -325,182 +336,41 @@ std::vector<SimilarityIndex::Entry> SimilarityIndex::TopKReference(
 
 // ----------------------------------------------------------- AllPairsAbove
 
-void SimilarityIndex::ScanSortedBlock(size_t begin, size_t end,
-                                      double jaccard_threshold,
-                                      std::vector<Pair>* out) const {
-  const size_t n = matrix_.rows();
-  const size_t words = matrix_.words_per_row();
-  const uint32_t k = matrix_.k();
-  // The prefilter is sound only where Ĵ is monotone in ŝ over the clamped
-  // feasible range; with clamping off a caller could observe unclamped
-  // corner cases, so it stays on the exact path.
-  const bool prefilter = query_options_.prefilter &&
-                         estimator_.options().clamp_to_feasible &&
-                         jaccard_threshold > 1e-5;
-  // Ĵ ≥ τ ⟺ ŝ ≥ s_req := τ/(1+τ)·(n_u+n_v) (Ĵ is monotone in ŝ). Two
-  // conservative consequences drive the prefilter, each with a slack many
-  // orders above FP rounding so no boundary pair the estimator would keep
-  // is ever dropped:
-  //   1. ŝ is clamped to min(n_u, n_v), so a pair needs
-  //      min < s_req − slack ⟹ fail. Scanning in cardinality-sorted
-  //      order makes the left side fixed (card_p) and the right side
-  //      monotone in the partner's cardinality, so the first failing
-  //      partner ends the inner loop — later pairs are never enumerated.
-  //   2. ŝ_raw ≥ s_req ⟺ L(d) ≥ (s_req − (n_u+n_v)/2)·4/k + 2·ln|1−2β|;
-  //      pairs below the bound skip the estimator (popcount only).
-  const double tau_frac = jaccard_threshold / (1.0 + jaccard_threshold);
+std::vector<SimilarityIndex::Pair> SimilarityIndex::AllPairsAbove(
+    double jaccard_threshold) const {
+  std::vector<Pair> pairs;
+  if (matrix_.rows() < 2) return pairs;
+  // One triangle pass on the shared tiled scan tier; the prefilter is
+  // sound only where Ĵ is monotone in ŝ over the clamped feasible range,
+  // so the gate resolves here (scan::PrefilterApplies) exactly as the
+  // planner resolves it.
+  pair_scan::ScanParams params;
+  params.jaccard_threshold = jaccard_threshold;
+  params.prefilter =
+      scan::PrefilterApplies(query_options_.prefilter,
+                             estimator_.options().clamp_to_feasible,
+                             jaccard_threshold);
+  params.estimator = &estimator_;
+  params.log_alpha_table = &log_alpha_table_;
 
-  // Early-exit split (scan::Phase1Words): the 2×4/1×8 micro-kernels
-  // popcount the first ~3/4 of each row, then a confinement check decides
-  // whether the remaining words can still move the pair into a pass
-  // region. (An additional earlier check at ~1/2 was measured slower: its
-  // survivors leave the batched kernels for pairwise finishes, costing
-  // more than the earlier exit saves.)
-  const size_t phase1_words = scan::Phase1Words(words);
-  const bool split = phase1_words != words;
-  const size_t phase1_bits = std::min<size_t>(phase1_words * 64, k);
-
-  const auto emit = [&](size_t p, size_t q, const PairEstimate& est) {
+  pair_scan::Pass pass;
+  pass.a = pass.b = pair_scan::MatrixView{&matrix_, cards_by_row_.data()};
+  pass.triangle = true;
+  pass.log_beta_pair = log_beta_term_;
+  pass.banding_a = pass.banding_b = banding_table();
+  pass.emit = [this](size_t p, size_t q, const PairEstimate& est,
+                     std::vector<Pair>& out) {
     // Canonical orientation: smaller candidate index first, as the
     // reference loop emits.
     const uint32_t oi = sorted_rows_[p];
     const uint32_t oj = sorted_rows_[q];
     const uint32_t u = std::min(oi, oj);
     const uint32_t v = std::max(oi, oj);
-    out->push_back({candidates_[u], candidates_[v], est.common,
-                    est.jaccard});
+    out.push_back({candidates_[u], candidates_[v], est.common, est.jaccard});
   };
 
-  if (!prefilter) {
-    for (size_t p = begin; p < end; ++p) {
-      const uint64_t* row_i = matrix_.Row(p);
-      const double card_i = cards_by_row_[p];
-      for (size_t q = p + 1; q < n; ++q) {
-        const size_t d = XorPopcount(row_i, matrix_.Row(q), words);
-        const PairEstimate est = estimator_.EstimateFromLogTerms(
-            card_i, cards_by_row_[q], log_alpha_table_[d], log_beta_term_);
-        if (est.jaccard >= jaccard_threshold) emit(p, q, est);
-      }
-    }
-    return;
-  }
-
-  // Admissible window of row p: cards_by_row_ is non-decreasing and the
-  // fail condition min < s_req − slack is monotone in the partner's
-  // cardinality, so the window end is a partition point — pairs beyond it
-  // are never enumerated.
-  const auto window_end = [&](size_t p, double card_i) {
-    // In sorted order card_i is the pair's min throughout the window, so
-    // the fail test is scan::CardinalityFail on card_i.
-    const auto it = std::partition_point(
-        cards_by_row_.begin() + static_cast<ptrdiff_t>(p) + 1,
-        cards_by_row_.begin() + static_cast<ptrdiff_t>(n),
-        [&](uint32_t card_j) {
-          return !scan::CardinalityFail(card_i, card_i + card_j, tau_frac);
-        });
-    return static_cast<size_t>(it - cards_by_row_.begin());
-  };
-
-  // Finishes pair (p, q) given row p's data and the pair's phase-1
-  // distance: the confinement test (scan::ConfinedFail) against the
-  // slacked log-alpha cut, the tail popcount for survivors, the exact
-  // table screen, then the estimator.
-  const double cut_scale = scan::CutScale(tau_frac, k);
-  const auto finish = [&](size_t p, const uint64_t* row_i, double card_i,
-                          size_t q, size_t d) {
-    const double card_j = cards_by_row_[q];
-    const double cut = scan::SlackedCut(cut_scale * (card_i + card_j) +
-                                        2.0 * log_beta_term_);
-    if (scan::ConfinedFail(log_alpha_table_, k, d, phase1_bits, cut)) return;
-    if (split) {
-      d += XorPopcount(row_i + phase1_words, matrix_.Row(q) + phase1_words,
-                       words - phase1_words);
-    }
-    // Exact screen: d passes iff table[d] reaches the cut.
-    if (log_alpha_table_[d] < cut) return;
-    const PairEstimate est = estimator_.EstimateFromLogTerms(
-        card_i, card_j, log_alpha_table_[d], log_beta_term_);
-    if (est.jaccard >= jaccard_threshold) emit(p, q, est);
-  };
-
-  // 1×8 sweep of row p against sorted positions [q, q_end).
-  const auto scan_1x8 = [&](size_t p, const uint64_t* row_i, double card_i,
-                            size_t q, size_t q_end) {
-    size_t d8[8];
-    for (; q + 8 <= q_end; q += 8) {
-      XorPopcount8(row_i, matrix_.Row(q), words, phase1_words, d8);
-      for (size_t t = 0; t < 8; ++t) finish(p, row_i, card_i, q + t, d8[t]);
-    }
-    for (; q < q_end; ++q) {
-      finish(p, row_i, card_i, q,
-             XorPopcount(row_i, matrix_.Row(q), phase1_words));
-    }
-  };
-
-  // Pair up adjacent p-rows: their windows are nested (cards are sorted,
-  // so row p+1 admits every partner row p does), letting the shared range
-  // run on the 2×4 micro-kernel — each partner row load feeds two pairs.
-  size_t p = begin;
-  for (; p + 2 <= end; p += 2) {
-    const uint64_t* row_a = matrix_.Row(p);
-    const uint64_t* row_b = matrix_.Row(p + 1);
-    const double card_a = cards_by_row_[p];
-    const double card_b = cards_by_row_[p + 1];
-    const size_t q_end_a = window_end(p, card_a);
-    const size_t q_end_b = window_end(p + 1, card_b);
-    if (p + 1 < q_end_a) {
-      finish(p, row_a, card_a, p + 1,
-             XorPopcount(row_a, row_b, phase1_words));
-    }
-    size_t q = p + 2;
-    size_t d8[8];
-    for (; q + 4 <= q_end_a; q += 4) {
-      XorPopcount2x4(row_a, row_b, matrix_.Row(q), words, phase1_words, d8);
-      for (size_t t = 0; t < 4; ++t) {
-        finish(p, row_a, card_a, q + t, d8[t]);
-        finish(p + 1, row_b, card_b, q + t, d8[4 + t]);
-      }
-    }
-    for (; q < q_end_a; ++q) {
-      finish(p, row_a, card_a, q,
-             XorPopcount(row_a, matrix_.Row(q), phase1_words));
-      finish(p + 1, row_b, card_b, q,
-             XorPopcount(row_b, matrix_.Row(q), phase1_words));
-    }
-    scan_1x8(p + 1, row_b, card_b, std::max(q_end_a, p + 2), q_end_b);
-  }
-  for (; p < end; ++p) {
-    const uint64_t* row_i = matrix_.Row(p);
-    const double card_i = cards_by_row_[p];
-    scan_1x8(p, row_i, card_i, p + 1, window_end(p, card_i));
-  }
-}
-
-std::vector<SimilarityIndex::Pair> SimilarityIndex::AllPairsAbove(
-    double jaccard_threshold) const {
-  std::vector<Pair> pairs;
-  const size_t n = matrix_.rows();
-  if (n < 2) return pairs;
-  const size_t block = std::max<size_t>(query_options_.block_size, 1);
-  const size_t num_blocks = (n + block - 1) / block;
-  const unsigned threads =
-      ResolveThreadCount(query_options_.num_threads, num_blocks);
-  if (threads <= 1) {
-    ScanSortedBlock(0, n, jaccard_threshold, &pairs);
-  } else {
-    std::vector<std::vector<Pair>> per_block(num_blocks);
-    RunBlocks(threads, num_blocks, [&](size_t b) {
-      const size_t begin = b * block;
-      ScanSortedBlock(begin, std::min(n, begin + block), jaccard_threshold,
-                      &per_block[b]);
-    });
-    size_t total = 0;
-    for (const auto& chunk : per_block) total += chunk.size();
-    pairs.reserve(total);
-    for (const auto& chunk : per_block) {
-      pairs.insert(pairs.end(), chunk.begin(), chunk.end());
-    }
-  }
+  pairs = pair_scan::RunPasses({pass}, params, query_options_.tile_rows,
+                               query_options_.num_threads);
   std::sort(pairs.begin(), pairs.end(), PairBefore);
   return pairs;
 }

@@ -12,10 +12,11 @@
 //     takes k+1 values; Rebuild-time tabulation removes every log/divide
 //     from the O(U²) loop (bit-identical by construction — see
 //     VosEstimator::EstimateFromLogTerms).
-//   * AllPairsAbove runs a std::thread-partitioned loop over row blocks
-//     with per-thread result buffers, merged and canonically sorted at the
-//     end; results are bit-identical for every thread count and block
-//     size.
+//   * AllPairsAbove runs on the shared tiled pair-scan tier
+//     (core/pair_scan.h): the triangle is decomposed into cache-sized
+//     row×row tiles, each an independent work unit with its own result
+//     buffer, merged and canonically sorted at the end; results are
+//     bit-identical for every thread count and tile size.
 //   * A conservative prefilter converts the Jaccard threshold into
 //     cardinality and alpha (log-term) bounds. Because Ĵ ≥ τ forces
 //     min(n_u,n_v) ≥ τ/(1+τ)·(n_u+n_v), the all-pairs sweep runs in
@@ -56,6 +57,8 @@
 
 #include "common/bit_vector.h"
 #include "core/digest_matrix.h"
+#include "core/pair_scan.h"
+#include "core/scan_common.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
 
@@ -66,10 +69,53 @@ struct QueryOptions {
   /// Worker threads per query / Rebuild extraction pass
   /// (0 = std::thread::hardware_concurrency()).
   unsigned num_threads = 0;
-  /// Rows per parallel work unit in the all-pairs loop. Small blocks
-  /// balance the triangular workload; large blocks cut scheduling
-  /// overhead.
+  /// Rows per parallel work unit in the TopK candidate loop. Small
+  /// blocks balance mixed-cost workloads; large blocks cut scheduling
+  /// overhead. (The all-pairs loop is governed by `tile_rows` below.)
   size_t block_size = 128;
+  /// Rows per tile edge of the all-pairs pair scan (core/pair_scan.h):
+  /// every triangle/rectangle pass is decomposed into tile_rows ×
+  /// tile_rows row tiles, each one work unit on the pool, so a hot
+  /// shard's triangle parallelizes and candidate sets beyond the LLC
+  /// stay cache-resident per tile. 0 = the tier default (256); any
+  /// value ≥ the candidate count degenerates to one tile per pass.
+  /// Results are bit-identical for every value.
+  size_t tile_rows = 0;
+  /// Opt-in LSH banding for AllPairsAbove (0 = exact enumeration, the
+  /// default). When > 0, Rebuild/RefreshDirty additionally index the
+  /// leading banding_bands × banding_rows_per_band digest bits into
+  /// per-band bucket tables (pair_scan::BandingTable) and AllPairsAbove
+  /// estimates only bucket-colliding pairs: every reported pair carries
+  /// the exact estimate (the banded result is a strict subset of the
+  /// exact result — precision 1), but pairs colliding in no band are
+  /// missed, so recall < 1 is possible and should be measured against
+  /// the exact path (see the banding recall contract in
+  /// src/core/README.md). Requests are clamped so bands ·
+  /// rows_per_band ≤ k. Cost note: the table is re-keyed and re-sorted
+  /// wholesale at every Rebuild AND RefreshDirty (the cardinality
+  /// re-sort permutes row indices even for clean rows, so there is no
+  /// incremental update today — O(bands · n log n) per refresh); with a
+  /// high refresh cadence measure that cost before enabling banding on
+  /// an incremental index.
+  uint32_t banding_bands = 0;
+  /// Digest bits per band ("rows" in the classic LSH sense — each digest
+  /// bit is one parity row). Must be in [1, 64]. More bits per band cut
+  /// candidates harder but lower per-band collision probability.
+  uint32_t banding_rows_per_band = 8;
+  /// Optimistic warm seed for QueryPlanner::TopK's shared raise-only
+  /// threshold bound (≤ 0 = cold start, the default). Any value is
+  /// safe: the result is verified to dominate the seed and the scan
+  /// reruns cold when it does not, so results are always bit-identical
+  /// to a cold start — a good seed (the previous checkpoint's k-th best
+  /// Ĵ) just skips most of the popcounts.
+  double topk_warm_threshold = -1.0;
+  /// Planner-held warm start: QueryPlanner remembers each completed
+  /// TopK's k-th best Ĵ per (query, k) and seeds the next call for that
+  /// same query with it (same verification + cold fallback as
+  /// topk_warm_threshold; per-query keying keeps a mixed query set from
+  /// cross-polluting bounds). Off by default; intended for the
+  /// checkpoint loop's repeated same-query-set TopK calls.
+  bool topk_warm_start = false;
   /// Enable the cardinality + Hamming-distance prescreen in
   /// AllPairsAbove. Only applied when the estimator clamps to the
   /// feasible range (the default); results are identical either way.
@@ -92,20 +138,12 @@ struct QueryOptions {
 /// Snapshot index over a candidate set of users.
 class SimilarityIndex {
  public:
-  /// One query answer.
-  struct Entry {
-    UserId user = 0;       ///< the matched candidate
-    double common = 0.0;   ///< ŝ (estimated common items with the query)
-    double jaccard = 0.0;  ///< Ĵ
-  };
+  /// One query answer (record shared with the scan tier,
+  /// core/scan_common.h: user / common / jaccard).
+  using Entry = scan::Entry;
 
-  /// One thresholded pair (AllPairsAbove).
-  struct Pair {
-    UserId u = 0;
-    UserId v = 0;
-    double common = 0.0;
-    double jaccard = 0.0;
-  };
+  /// One thresholded pair from AllPairsAbove (u / v / common / jaccard).
+  using Pair = scan::Pair;
 
   /// Binds to `sketch` (not owned; must outlive the index).
   explicit SimilarityIndex(const VosSketch& sketch,
@@ -159,7 +197,11 @@ class SimilarityIndex {
   std::vector<Entry> TopK(UserId query, size_t k) const;
 
   /// All unordered candidate pairs with Ĵ ≥ `jaccard_threshold`,
-  /// descending by Ĵ (ties by (u, v)).
+  /// descending by Ĵ (ties by (u, v)). Runs on the tiled pair-scan tier
+  /// (core/pair_scan.h): exact by default, bucket-driven when
+  /// QueryOptions::banding_bands > 0 (subset of the exact result with
+  /// identical per-pair estimates; recall measured against the exact
+  /// path).
   std::vector<Pair> AllPairsAbove(double jaccard_threshold) const;
 
   /// Scalar reference implementation of TopK: single-threaded, per-user
@@ -207,6 +249,14 @@ class SimilarityIndex {
   /// The candidate-list index owning matrix row p.
   size_t sorted_to_candidate(size_t p) const { return sorted_rows_[p]; }
 
+  /// The LSH banding table of the current snapshot, or nullptr when
+  /// banding is off (QueryOptions::banding_bands == 0). Rebuilt with
+  /// every Rebuild()/RefreshDirty(); the planner joins two shards'
+  /// tables for banded cross-shard passes.
+  const pair_scan::BandingTable* banding_table() const {
+    return banding_.empty() ? nullptr : &banding_;
+  }
+
   const QueryOptions& query_options() const { return query_options_; }
   void set_query_options(const QueryOptions& options) {
     query_options_ = options;
@@ -218,6 +268,10 @@ class SimilarityIndex {
   /// both produce the identical deterministic order).
   void SortRowsAndMaps();
 
+  /// (Re)builds banding_ from the current matrix_ when banding is on;
+  /// clears it otherwise. Called at the end of Rebuild and RefreshDirty.
+  void RebuildBanding();
+
   /// Reference-path estimate from two BitVector digests.
   PairEstimate EstimateFromDigests(const BitVector& a, uint32_t card_a,
                                    const BitVector& b, uint32_t card_b) const;
@@ -225,13 +279,6 @@ class SimilarityIndex {
   /// Batch-path estimate from two packed rows.
   PairEstimate EstimateRows(const uint64_t* a, uint32_t card_a,
                             const uint64_t* b, uint32_t card_b) const;
-
-  /// Scans sorted positions [begin, end) of the cardinality-sorted order
-  /// against all later positions for pairs ≥ τ, appending hits to `out`
-  /// (the prefilter + sorted-window break live here). Every unordered pair
-  /// is visited by exactly one (begin, end) partition cell.
-  void ScanSortedBlock(size_t begin, size_t end, double jaccard_threshold,
-                       std::vector<Pair>* out) const;
 
   /// TopK core over an explicit query row + cardinality.
   std::vector<Entry> TopKFromRow(UserId query, const uint64_t* query_row,
@@ -267,6 +314,9 @@ class SimilarityIndex {
   double beta_ = 0.0;
   /// VosEstimator::LogBetaTerm(beta_), captured at Rebuild.
   double log_beta_term_ = 0.0;
+  /// LSH banding table over matrix_ (empty unless
+  /// QueryOptions::banding_bands > 0); see banding_table().
+  pair_scan::BandingTable banding_;
 
   // --- Incremental-maintenance state (QueryOptions::incremental) -------
   /// The sketch array words as of the last snapshot; XOR against the live

@@ -5,10 +5,21 @@
 namespace vos::core {
 
 VosMethod::VosMethod(const VosConfig& config, UserId num_users,
-                     VosEstimatorOptions options)
+                     VosEstimatorOptions options, QueryOptions query_options)
     : sketch_(config, num_users),
       estimator_(config.k, options),
+      query_options_(query_options),
       log_alpha_table_(estimator_.BuildLogAlphaTable()) {}
+
+std::unique_ptr<SimilarityIndex> VosMethod::MakeIndex(
+    std::vector<UserId> candidates) const {
+  QueryOptions options = query_options_;
+  if (query_threads_ != 0) options.num_threads = query_threads_;
+  auto index = std::make_unique<SimilarityIndex>(sketch_, estimator_.options(),
+                                                 options);
+  index->Rebuild(std::move(candidates));
+  return index;
+}
 
 BitVector VosMethod::DigestFor(UserId user) const {
   const auto it = cache_rows_.find(user);

@@ -16,6 +16,7 @@
 
 #include "common/bit_vector.h"
 #include "core/digest_matrix.h"
+#include "core/similarity_index.h"
 #include "core/similarity_method.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
@@ -25,8 +26,11 @@ namespace vos::core {
 /// VOS as a pluggable SimilarityMethod.
 class VosMethod : public SimilarityMethod {
  public:
+  /// `query_options` configures batch scans built through MakeIndex()
+  /// (tile_rows, banding_*, prefilter — the method_factory knobs land
+  /// here); the per-pair EstimatePair path ignores it.
   VosMethod(const VosConfig& config, UserId num_users,
-            VosEstimatorOptions options = {});
+            VosEstimatorOptions options = {}, QueryOptions query_options = {});
 
   std::string Name() const override { return "VOS"; }
 
@@ -47,6 +51,15 @@ class VosMethod : public SimilarityMethod {
 
   const VosSketch& sketch() const { return sketch_; }
   const VosEstimator& estimator() const { return estimator_; }
+  const QueryOptions& query_options() const { return query_options_; }
+
+  /// A snapshot SimilarityIndex over `candidates`, configured with this
+  /// method's QueryOptions (so factory knobs — tile_rows, banding_* —
+  /// and the last SetQueryThreads govern its scans). The returned index
+  /// follows the usual snapshot semantics (core/similarity_index.h);
+  /// callers drive TopK/AllPairsAbove on it directly.
+  std::unique_ptr<SimilarityIndex> MakeIndex(
+      std::vector<UserId> candidates) const;
 
  private:
   /// Returns the cached digest for `user`, or extracts one on the fly
@@ -55,6 +68,7 @@ class VosMethod : public SimilarityMethod {
 
   VosSketch sketch_;
   VosEstimator estimator_;
+  QueryOptions query_options_;
   /// ln|1−2·d/k| per Hamming distance d ∈ [0, k] (see SimilarityIndex).
   std::vector<double> log_alpha_table_;
   DigestMatrix cache_;

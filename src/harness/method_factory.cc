@@ -52,8 +52,13 @@ StatusOr<std::unique_ptr<core::SimilarityMethod>> CreateMethod(
     vos.track_dirty = false;
     core::VosEstimatorOptions options;
     options.clamp_to_feasible = config.clamp;
+    core::QueryOptions query_options;
+    query_options.tile_rows = config.tile_rows;
+    query_options.banding_bands = config.banding_bands;
+    query_options.banding_rows_per_band = config.banding_rows_per_band;
     return std::unique_ptr<core::SimilarityMethod>(
-        std::make_unique<core::VosMethod>(vos, num_users, options));
+        std::make_unique<core::VosMethod>(vos, num_users, options,
+                                          query_options));
   }
   if (name == "VOS-sharded") {
     core::ShardedVosConfig sharded;
@@ -72,6 +77,9 @@ StatusOr<std::unique_ptr<core::SimilarityMethod>> CreateMethod(
     core::ShardedQueryConfig query;
     query.shards_local = config.query_shards_local;
     query.planner_threads = config.planner_threads;
+    query.tile_rows = config.tile_rows;
+    query.banding_bands = config.banding_bands;
+    query.banding_rows_per_band = config.banding_rows_per_band;
     return std::unique_ptr<core::SimilarityMethod>(
         std::make_unique<core::ShardedVosMethod>(sharded, num_users, options,
                                                  query));

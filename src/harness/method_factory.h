@@ -60,6 +60,19 @@ struct MethodFactoryConfig {
   /// Planner task-level worker threads for query_shards_local (0 =
   /// hardware concurrency; SimilarityMethod::SetQueryThreads overrides).
   unsigned planner_threads = 0;
+  /// Rows per tile edge of the pair-scan tier's all-pairs scans
+  /// (core/pair_scan.h; 0 = the tier default). Lands in "VOS"'s
+  /// MakeIndex QueryOptions and "VOS-sharded"'s planner mode; results
+  /// are bit-identical for every value.
+  size_t tile_rows = 0;
+  /// Opt-in LSH banding for all-pairs scans (0 = exact enumeration, the
+  /// default): band the leading banding_bands × banding_rows_per_band
+  /// digest bits and enumerate only bucket-colliding pairs. Reported
+  /// pairs carry exact estimates; recall is measured against the exact
+  /// path (see src/core/README.md). Per-pair EstimatePair answers are
+  /// never affected.
+  uint32_t banding_bands = 0;
+  uint32_t banding_rows_per_band = 8;
 };
 
 /// Recognized names: "VOS", "VOS-sharded", "MinHash", "OPH", "OPH+rot",

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/scan_common.h"
+#include "core/similarity_index.h"
 
 namespace vos::core::scan {
 namespace {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff bench JSON rows against a committed baseline.
+"""Diff bench JSON rows against a committed baseline — or a trend window.
 
 The bench binaries emit machine-readable rows via --json (one object per
 table row; see bench/bench_util.h MaybeEmitJson). CI uploads them as
@@ -11,7 +11,15 @@ row whose throughput regressed by more than --max-regression (default
 Rows are keyed by every identity column (bench, phase, engine, shards,
 producers, threads, unit — whichever are present), so a schema change
 that adds a column simply widens the key. Metric columns (seconds,
-throughput, speedup) never participate in the key.
+throughput, speedup, recall) never participate in the key.
+
+Trend mode: pass a DIRECTORY as the baseline to compare against the last
+N (--last, default 5) BENCH_*.json files found in it — e.g. a folder of
+downloaded CI artifacts — instead of the single committed point. Files
+are ordered by modification time; each row's reference throughput is the
+MEDIAN across the window, so one noisy artifact cannot flag (or mask) a
+regression the way a single committed baseline can. Rows present in only
+some window files use the median of the files that have them.
 
 Exit status: 0 = no regressions, 1 = at least one flagged row, 2 = usage
 or file errors. Baseline rows missing from the new run are reported as
@@ -19,18 +27,22 @@ warnings (a renamed engine should update the baseline); new rows absent
 from the baseline are listed informationally and pass.
 
 Throughput is machine-dependent: regenerate the baseline whenever the
-runner hardware changes (run the bench with the CI smoke flags and copy
-the JSON over bench/baselines/BENCH_<bench>.json).
+runner hardware changes (see bench/baselines/README.md for the exact
+smoke flags and steps).
 
 Usage:
   tools/bench_compare.py BASELINE.json CURRENT.json [--max-regression 0.20]
+  tools/bench_compare.py ARTIFACT_DIR CURRENT.json [--last 5]
 """
 
 import argparse
+import glob
 import json
+import os
+import statistics
 import sys
 
-METRIC_COLUMNS = frozenset({"seconds", "throughput", "speedup"})
+METRIC_COLUMNS = frozenset({"seconds", "throughput", "speedup", "recall"})
 
 
 def row_key(row):
@@ -58,9 +70,55 @@ def load_rows(path):
     return indexed
 
 
+def load_trend_window(directory, bench_name, last):
+    """Median-throughput reference rows from the last N artifacts.
+
+    Scans `directory` recursively for files named like the current run's
+    artifact (BENCH_<bench>.json — CI artifact folders nest each run), takes
+    the `last` most recently modified, and builds one synthetic baseline:
+    per row key, the row from the newest file carrying it with its
+    throughput replaced by the median across all window files that have it.
+    """
+    pattern = os.path.join(directory, "**", f"BENCH_{bench_name}*.json")
+    files = sorted(glob.glob(pattern, recursive=True), key=os.path.getmtime)
+    if not files:
+        # Fall back to any bench JSON so a flat artifact dump still works.
+        pattern = os.path.join(directory, "**", "BENCH_*.json")
+        files = sorted(glob.glob(pattern, recursive=True),
+                       key=os.path.getmtime)
+    if not files:
+        raise ValueError(f"{directory}: no BENCH_*.json files found")
+    window = files[-last:]
+    print(f"trend window ({len(window)} artifact(s), oldest first):")
+    for path in window:
+        print(f"  {path}")
+    merged = {}
+    samples = {}
+    for path in window:  # oldest → newest; newest row wins the identity
+        for key, row in load_rows(path).items():
+            throughput = row.get("throughput")
+            if isinstance(throughput, (int, float)) and throughput > 0:
+                samples.setdefault(key, []).append(throughput)
+            merged[key] = dict(row)
+    for key, values in samples.items():
+        merged[key]["throughput"] = statistics.median(values)
+    return merged
+
+
+def bench_name_of(path):
+    """BENCH_micro_query_path.json -> micro_query_path."""
+    stem = os.path.basename(path)
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_"):]
+    return stem.rsplit(".", 1)[0]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument(
+        "baseline",
+        help="committed BENCH_*.json baseline, or a directory of "
+        "downloaded artifacts for trend mode")
     parser.add_argument("current", help="freshly produced BENCH_*.json")
     parser.add_argument(
         "--max-regression",
@@ -69,10 +127,22 @@ def main():
         help="flag rows whose throughput dropped by more than this "
         "fraction of the baseline (default: 0.20)",
     )
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=5,
+        help="trend mode: number of most recent artifacts to take the "
+        "median over (default: 5; ignored for a file baseline)",
+    )
     args = parser.parse_args()
 
     try:
-        baseline = load_rows(args.baseline)
+        if os.path.isdir(args.baseline):
+            baseline = load_trend_window(args.baseline,
+                                         bench_name_of(args.current),
+                                         max(1, args.last))
+        else:
+            baseline = load_rows(args.baseline)
         current = load_rows(args.current)
     except (OSError, ValueError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
