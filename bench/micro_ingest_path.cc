@@ -17,6 +17,13 @@
 // verified identical to synchronous routing of the same per-producer
 // streams before any timing is reported.
 //
+// Phase "checkpoint": ShardedVosSketch::Checkpoint/Restore wall time and
+// bandwidth at --shards (the PR 6 durability path: atomic CRC-checked v3
+// container). Every restored sketch is verified bit-identical to the
+// checkpointed one before its timing counts; the "speedup" column carries
+// the on-disk bytes / in-memory bytes ratio (MemoryBits / 8) so the
+// serialization overhead is visible next to the timings.
+//
 // Phase "index": SimilarityIndex::Rebuild (full re-extraction) vs.
 // RefreshDirty (dirty users + array-word delta only) at dirty fractions
 // {1%, 10%, 50%} of the candidate set. Every RefreshDirty result is
@@ -30,7 +37,9 @@
 //      [--json=out.json]
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -311,6 +320,62 @@ int main(int argc, char** argv) {
     emit("ingest", "sharded-async-p", max_shards, producers,
          max_shards + producers, mp_seconds, num_updates / mp_seconds,
          "updates/s", serial_seconds / mp_seconds);
+  }
+
+  // --------------------------------------------------------------- checkpoint
+  // Save/restore cost of the durable v3 container at the full shard
+  // count, against the state the ingest phase just verified.
+  {
+    ShardedVosConfig sharded;
+    sharded.base = config;
+    sharded.num_shards = max_shards;
+    sharded.batch_size = batch;
+    sharded.ingest_threads = max_shards;
+    ShardedVosSketch full_state(sharded, users);
+    for (size_t t = 0; t < elements.size(); t += batch) {
+      full_state.UpdateBatch(elements.data() + t,
+                             std::min(batch, elements.size() - t));
+    }
+    const Status flushed = full_state.Flush();
+    VOS_CHECK(flushed.ok()) << flushed.ToString();
+
+    const std::string ckpt_path =
+        flags.GetString("ckpt", "/tmp/micro_ingest_path.ckpt");
+    const double save_seconds = BestSeconds(repeats, [&] {
+      const Status saved = full_state.Checkpoint(ckpt_path);
+      VOS_CHECK(saved.ok()) << saved.ToString();
+    });
+    double ckpt_bytes = 0.0;
+    {
+      std::ifstream in(ckpt_path, std::ios::binary | std::ios::ate);
+      VOS_CHECK(in.good()) << "checkpoint vanished: " << ckpt_path;
+      ckpt_bytes = static_cast<double>(in.tellg());
+    }
+    const double sketch_bytes =
+        static_cast<double>(full_state.MemoryBits()) / 8.0;
+    const double mib = 1024.0 * 1024.0;
+    emit("checkpoint", "save", max_shards, 1, 1, save_seconds,
+         ckpt_bytes / save_seconds / mib, "MB/s", ckpt_bytes / sketch_bytes);
+
+    double restore_seconds = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      ShardedVosSketch restored(sharded, users);
+      WallTimer timer;
+      const Status status = restored.Restore(ckpt_path);
+      const double elapsed = timer.ElapsedSeconds();
+      VOS_CHECK(status.ok()) << status.ToString();
+      if (r == 0 || elapsed < restore_seconds) restore_seconds = elapsed;
+      // A restore that is fast but wrong is worthless: bit-identity first.
+      CheckShardsIdentical(restored, full_state);
+    }
+    emit("checkpoint", "restore", max_shards, 1, 1, restore_seconds,
+         ckpt_bytes / restore_seconds / mib, "MB/s",
+         ckpt_bytes / sketch_bytes);
+    std::remove(ckpt_path.c_str());
+    std::printf("checkpoint: %.1f MB on disk vs %.1f MB sketch memory "
+                "(ratio %.3f); every restore verified bit-identical\n\n",
+                ckpt_bytes / mib, sketch_bytes / mib,
+                ckpt_bytes / sketch_bytes);
   }
 
   // --------------------------------------------------------------- index

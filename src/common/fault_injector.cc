@@ -1,0 +1,167 @@
+#include "common/fault_injector.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace vos {
+namespace {
+
+/// site-name → FaultSite for the VOS_FAULTS syntax.
+bool ParseSite(const std::string& name, FaultSite* site) {
+  for (uint8_t s = 0; s <= static_cast<uint8_t>(FaultSite::kCheckpointCrash);
+       ++s) {
+    if (name == FaultSiteName(static_cast<FaultSite>(s))) {
+      *site = static_cast<FaultSite>(s);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kWorkerKill:
+      return "worker_kill";
+    case FaultSite::kUpdateThrow:
+      return "update_throw";
+    case FaultSite::kLaneStall:
+      return "lane_stall";
+    case FaultSite::kCheckpointTear:
+      return "ckpt_tear";
+    case FaultSite::kCheckpointCorrupt:
+      return "ckpt_corrupt";
+    case FaultSite::kCheckpointCrash:
+      return "ckpt_crash";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* plan = std::getenv("VOS_FAULTS");
+  if (plan == nullptr || plan[0] == '\0') return;
+  std::string error;
+  VOS_CHECK(ArmFromString(plan, &error))
+      << "malformed VOS_FAULTS plan:" << error;
+}
+
+void FaultInjector::Arm(FaultSpec spec) {
+  if (spec.site == FaultSite::kLaneStall) spec.once = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(Entry{spec});
+  armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ArmFromString(const std::string& plan,
+                                  std::string* error) {
+  std::vector<FaultSpec> specs;
+  size_t pos = 0;
+  while (pos < plan.size()) {
+    const size_t end = plan.find(';', pos);
+    const std::string token =
+        plan.substr(pos, end == std::string::npos ? end : end - pos);
+    pos = end == std::string::npos ? plan.size() : end + 1;
+    if (token.empty()) continue;
+    const size_t colon = token.find(':');
+    FaultSpec spec;
+    if (!ParseSite(token.substr(0, colon), &spec.site)) {
+      if (error != nullptr) *error = "unknown site '" + token + "'";
+      return false;
+    }
+    if (colon != std::string::npos) {
+      size_t kv_pos = colon + 1;
+      while (kv_pos < token.size()) {
+        const size_t kv_end = token.find(',', kv_pos);
+        const std::string kv = token.substr(
+            kv_pos, kv_end == std::string::npos ? kv_end : kv_end - kv_pos);
+        kv_pos = kv_end == std::string::npos ? token.size() : kv_end + 1;
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          if (error != nullptr) *error = "expected key=value, got '" + kv + "'";
+          return false;
+        }
+        const std::string key = kv.substr(0, eq);
+        char* parse_end = nullptr;
+        const long long value =
+            std::strtoll(kv.c_str() + eq + 1, &parse_end, 10);
+        if (parse_end == nullptr || *parse_end != '\0') {
+          if (error != nullptr) *error = "bad number in '" + kv + "'";
+          return false;
+        }
+        if (key == "after") {
+          spec.after_hits = static_cast<uint64_t>(value);
+        } else if (key == "shard") {
+          spec.shard = value;
+        } else if (key == "producer") {
+          spec.producer = value;
+        } else if (key == "offset") {
+          spec.byte_offset = static_cast<uint64_t>(value);
+        } else if (key == "delay_ms") {
+          spec.delay_ms = static_cast<uint32_t>(value);
+        } else {
+          if (error != nullptr) *error = "unknown key '" + key + "'";
+          return false;
+        }
+      }
+    }
+    specs.push_back(spec);
+  }
+  for (const FaultSpec& spec : specs) Arm(spec);
+  return true;
+}
+
+std::optional<FaultSpec> FaultInjector::Match(FaultSite site, int64_t shard,
+                                              int64_t producer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    if (entry.fired || entry.spec.site != site) continue;
+    if (entry.spec.shard >= 0 && shard >= 0 && entry.spec.shard != shard) {
+      continue;
+    }
+    if (entry.spec.producer >= 0 && producer >= 0 &&
+        entry.spec.producer != producer) {
+      continue;
+    }
+    if (entry.hits++ < entry.spec.after_hits) continue;
+    if (entry.spec.once) {
+      entry.fired = true;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    fires_[static_cast<size_t>(site)].fetch_add(1,
+                                                std::memory_order_relaxed);
+    return entry.spec;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::Fire(FaultSite site, uint32_t shard, unsigned producer) {
+  if (!armed()) return false;
+  return Match(site, shard, producer).has_value();
+}
+
+uint32_t FaultInjector::StallMs(uint32_t shard, unsigned producer) {
+  if (!armed()) return 0;
+  const std::optional<FaultSpec> spec =
+      Match(FaultSite::kLaneStall, shard, producer);
+  return spec.has_value() ? spec->delay_ms : 0;
+}
+
+std::optional<FaultSpec> FaultInjector::FireCheckpoint(FaultSite site) {
+  if (!armed()) return std::nullopt;
+  return Match(site, -1, -1);
+}
+
+}  // namespace vos

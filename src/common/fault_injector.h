@@ -1,0 +1,144 @@
+// Deterministic fault injection for the ingest fabric and the checkpoint
+// writer.
+//
+// Production code is sprinkled with cheap probes at its failure sites
+// (worker apply loop, lane drain, checkpoint commit). When nothing is
+// armed every probe is a single relaxed atomic load — the hot paths stay
+// at their measured cost. Tests (and, via the VOS_FAULTS environment
+// variable, whole processes) arm FaultSpecs that fire deterministically:
+// each spec counts the probes that match its site/shard/producer filter
+// and fires on exactly the (after_hits + 1)-th match. Determinism comes
+// from that exact counting — a recovery matrix derives `after_hits` from
+// its loop indices/seed and replays the identical crash every run; no
+// wall-clock or RNG is consulted.
+//
+// Sites:
+//   kWorkerKill        — a shard worker thread exits mid-batch, exactly as
+//                        if the thread crashed: its queued batches are
+//                        lost and its shards are poisoned.
+//   kUpdateThrow       — the apply loop throws mid-batch (models a worker
+//                        exception; the pipeline catches it at the worker
+//                        boundary and poisons the shard).
+//   kLaneStall         — the worker sleeps `delay_ms` before applying each
+//                        matching lane's batch (starvation; drives the
+//                        enqueue/Flush deadline paths). Persistent by
+//                        default (`once = false` is forced).
+//   kCheckpointTear    — the checkpoint commit writes only the first
+//                        `byte_offset` bytes to the final path and reports
+//                        success: a silently torn write.
+//   kCheckpointCorrupt — one byte at `byte_offset` is flipped before the
+//                        (otherwise normal) durable commit: bit rot.
+//   kCheckpointCrash   — the process "crashes" after writing the temp file
+//                        but before the rename: Save returns IoError and
+//                        the previous checkpoint must remain intact.
+//
+// VOS_FAULTS syntax (';'-separated specs):
+//   site[:key=value,...]   keys: after, shard, producer, offset, delay_ms
+//   e.g. VOS_FAULTS="update_throw:shard=1,after=3;ckpt_tear:offset=100"
+//
+// Thread-safety: Arm/DisarmAll and every probe are safe from any thread.
+// Probes on distinct sites never serialize unless something is armed.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vos {
+
+/// Where a fault can be injected (see file comment).
+enum class FaultSite : uint8_t {
+  kWorkerKill = 0,
+  kUpdateThrow = 1,
+  kLaneStall = 2,
+  kCheckpointTear = 3,
+  kCheckpointCorrupt = 4,
+  kCheckpointCrash = 5,
+};
+
+/// Stable lower-case name ("worker_kill", "ckpt_tear", ...).
+const char* FaultSiteName(FaultSite site);
+
+/// One armed fault: fire at a site, optionally filtered and delayed.
+struct FaultSpec {
+  FaultSite site = FaultSite::kWorkerKill;
+  /// Matching probes to let pass before firing (fires on match
+  /// after_hits + 1).
+  uint64_t after_hits = 0;
+  /// Restrict to one shard / producer lane (-1 = any).
+  int64_t shard = -1;
+  int64_t producer = -1;
+  /// kCheckpointTear: bytes kept; kCheckpointCorrupt: byte flipped.
+  uint64_t byte_offset = 0;
+  /// kLaneStall: sleep per matching batch, milliseconds.
+  uint32_t delay_ms = 0;
+  /// Disarm after the first fire (kLaneStall ignores this and stays
+  /// armed until DisarmAll).
+  bool once = true;
+};
+
+/// Process-wide deterministic fault injector (see file comment).
+class FaultInjector {
+ public:
+  /// The process singleton. First access parses VOS_FAULTS (if set);
+  /// a malformed plan aborts — a mistyped fault plan silently running
+  /// faultless would defeat the harness.
+  static FaultInjector& Global();
+
+  void Arm(FaultSpec spec);
+  void DisarmAll();
+
+  /// Parses the VOS_FAULTS syntax and arms every spec in it. On a parse
+  /// error nothing is armed and `error` (if non-null) names the bad
+  /// token.
+  bool ArmFromString(const std::string& plan, std::string* error);
+
+  /// True iff any spec is armed. One relaxed load — the no-fault cost of
+  /// every probe below.
+  bool armed() const {
+    return armed_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Probe for kWorkerKill / kUpdateThrow at (shard, producer): counts a
+  /// match and returns true iff an armed spec fires now.
+  bool Fire(FaultSite site, uint32_t shard, unsigned producer);
+
+  /// Probe for kLaneStall: milliseconds to sleep before applying this
+  /// batch (0 = no stall armed for this lane).
+  uint32_t StallMs(uint32_t shard, unsigned producer);
+
+  /// Probe for checkpoint-commit faults; returns the firing spec (for
+  /// byte_offset) or nullopt.
+  std::optional<FaultSpec> FireCheckpoint(FaultSite site);
+
+  /// Total fires at `site` since process start (test assertions).
+  uint64_t fires(FaultSite site) const {
+    return fires_[static_cast<size_t>(site)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  FaultInjector();
+
+  struct Entry {
+    FaultSpec spec;
+    uint64_t hits = 0;
+    bool fired = false;
+  };
+
+  /// Counts a match against every armed spec of `site` passing the
+  /// filter; returns the spec that fires, if any.
+  std::optional<FaultSpec> Match(FaultSite site, int64_t shard,
+                                 int64_t producer);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;          // guarded by mu_
+  std::atomic<int> armed_count_{0};     // mirrors entries-not-yet-fired
+  std::atomic<uint64_t> fires_[6] = {};
+};
+
+}  // namespace vos

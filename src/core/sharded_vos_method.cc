@@ -26,8 +26,25 @@ ShardedVosMethod::ShardedVosMethod(const ShardedVosConfig& config,
       cached_log_beta_term_(config.num_shards, 0.0),
       query_threads_(query_config.planner_threads) {}
 
+Status ShardedVosMethod::Restore(const std::string& path) {
+  VOS_RETURN_IF_ERROR(sketch_.Restore(path));
+  // The restored shards are a different history than the one the
+  // incremental planner snapshots and digest caches were built against —
+  // drop them; the next PrepareQuery rebuilds from the restored state.
+  planner_.reset();
+  planner_candidates_.clear();
+  planner_ready_ = false;
+  InvalidateQueryCache();
+  return Status::OK();
+}
+
 void ShardedVosMethod::PrepareQuery(const std::vector<UserId>& users) {
-  sketch_.Flush();
+  if (!sketch_.Flush().ok()) {
+    // Degraded pipeline: refuse to rebuild the cache over suspect state
+    // and keep serving the last snapshot (graceful degradation — the
+    // caller sees the failure from FlushIngest, queries keep answering).
+    return;
+  }
   if (query_config_.shards_local) {
     // Planner cache: first call (or a changed tracked set) snapshots
     // every shard index; repeat calls over the same set refresh

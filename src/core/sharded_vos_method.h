@@ -81,13 +81,27 @@ class ShardedVosMethod : public SimilarityMethod {
                    unsigned producer) override {
     sketch_.UpdateBatch(elements, count, producer);
   }
-  void FlushIngest() override { sketch_.Flush(); }
-  void FlushIngest(unsigned producer) override {
-    sketch_.FlushProducer(producer);
+  /// Quiesces the pipeline and surfaces its sticky health: a poisoned
+  /// shard / starved lane / exceeded budget comes back as the non-OK
+  /// Status (see core/sharded_vos_sketch.h). Queries keep serving — the
+  /// last PrepareQuery snapshot stays valid — but new data is the
+  /// caller's to stop sending.
+  Status FlushIngest() override { return sketch_.Flush(); }
+  Status FlushIngest(unsigned producer) override {
+    return sketch_.FlushProducer(producer);
   }
   unsigned ConcurrentIngestProducers() const override {
     return sketch_.num_producers();
   }
+
+  /// Atomic whole-pipeline checkpoint / recovery (forwards to
+  /// ShardedVosSketch; see there for the watermark contract). Restore
+  /// additionally drops the planner and the digest caches — their
+  /// incremental state references the pre-restore snapshots.
+  Status Checkpoint(const std::string& path) {
+    return sketch_.Checkpoint(path);
+  }
+  Status Restore(const std::string& path);
 
   PairEstimate EstimatePair(UserId u, UserId v) const override;
 

@@ -1,9 +1,13 @@
 #include "core/sharded_vos_sketch.h"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
 
+#include "common/fault_injector.h"
 #include "common/popcount.h"
 #include "core/digest_matrix.h"
+#include "core/vos_io.h"
 #include "hashing/seeds.h"
 
 namespace vos::core {
@@ -13,6 +17,29 @@ namespace {
 /// tags so they are unrelated to ψ's and the base f family's sub-seeds.
 constexpr uint64_t kRouterTag = 0x40a7e0;
 constexpr uint64_t kShardFTag = 0x5a4d00;
+
+/// Construction-time footprint estimate for the memory-budget validation:
+/// shard arrays (word-rounded) plus per-user state (cardinality counter,
+/// dirty epoch, dense-remap tables). Matches MemoryBits() up to rounding.
+uint64_t StaticFootprintBits(const ShardedVosConfig& config,
+                             stream::UserId num_users) {
+  uint64_t total = 0;
+  const uint64_t shard_m =
+      config.num_shards > 1
+          ? std::max<uint64_t>(1, config.base.m / config.num_shards)
+          : config.base.m;
+  total += static_cast<uint64_t>(config.num_shards) * ((shard_m + 63) / 64) *
+           64;
+  uint64_t per_user = 32;                            // cardinality counter
+  if (config.base.track_dirty) per_user += 32;       // dirty epoch
+  if (config.num_shards > 1) per_user += 64;         // dense remap tables
+  total += static_cast<uint64_t>(num_users) * per_user;
+  return total;
+}
+
+std::string ShardTag(uint32_t shard) {
+  return "shard " + std::to_string(shard);
+}
 
 }  // namespace
 
@@ -30,21 +57,63 @@ VosConfig ShardedVosSketch::ShardConfig(const ShardedVosConfig& config,
   return shard_config;
 }
 
+Status ShardedVosSketch::ValidateConfig(const ShardedVosConfig& config,
+                                        UserId num_users) {
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (config.num_shards > 0xffff) {
+    return Status::InvalidArgument(
+        "num_shards must fit the uint16 shard tags (<= 65535)");
+  }
+  if (config.base.k < 1) {
+    return Status::InvalidArgument("base.k must be >= 1");
+  }
+  if (config.base.m < 1) {
+    return Status::InvalidArgument("base.m must be >= 1");
+  }
+  if (config.queue_capacity < 1) {
+    return Status::InvalidArgument(
+        "queue_capacity must be >= 1: a zero-capacity (producer, shard) "
+        "queue can never accept a sub-batch, so the first back-pressured "
+        "enqueue would deadlock");
+  }
+  if (config.batch_size < 1) {
+    return Status::InvalidArgument(
+        "batch_size must be >= 1: a zero batch size can never trigger the "
+        "Update() auto-enqueue");
+  }
+  if (config.ingest_producers < 1) {
+    return Status::InvalidArgument(
+        "ingest_producers must be >= 1: producer ids are validated "
+        "against the configured lane count");
+  }
+  if (config.memory_budget_bits > 0) {
+    const uint64_t static_bits = StaticFootprintBits(config, num_users);
+    if (static_bits > config.memory_budget_bits) {
+      return Status::InvalidArgument(
+          "memory_budget_bits (" + std::to_string(config.memory_budget_bits) +
+          ") is below the config's own static footprint (" +
+          std::to_string(static_bits) +
+          " bits: shard arrays + per-user state); no stream could ever be "
+          "ingested under it");
+    }
+  }
+  return Status::OK();
+}
+
 ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
                                    UserId num_users,
                                    VosEstimatorOptions estimator_options)
     : config_(config),
-      router_(config.num_shards,
+      router_(std::max<uint32_t>(1, config.num_shards),
               hash::DeriveSeed(config.base.seed, kRouterTag)),
       num_users_(num_users),
       estimator_(config.base.k, estimator_options) {
-  VOS_CHECK(config.num_shards >= 1) << "need at least one shard";
-  // A zero capacity would make the back-pressure wait unsatisfiable
-  // (permanent producer deadlock); a zero batch size would enqueue
-  // per-element batches. Clamp both to sane minima.
-  config_.queue_capacity = std::max<size_t>(1, config_.queue_capacity);
-  config_.batch_size = std::max<size_t>(1, config_.batch_size);
-  config_.ingest_producers = std::max<unsigned>(1, config_.ingest_producers);
+  // Degenerate configs fail here, loudly and with the reason — not by
+  // deadlocking the first enqueue or striping queues nobody drains.
+  const Status valid = ValidateConfig(config, num_users);
+  VOS_CHECK(valid.ok()) << valid.ToString();
   shards_.reserve(config.num_shards);
   if (config.num_shards > 1) {
     // Dense remap: shard s is sized for exactly the users it owns and
@@ -56,6 +125,8 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
   } else {
     shards_.emplace_back(ShardConfig(config, 0), num_users);
   }
+  shard_status_.resize(config.num_shards);
+  accepted_.assign(config.ingest_producers, 0);
   if (config.ingest_threads > 0) {
     const unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
         {config.ingest_threads, config.num_shards, 256}));
@@ -76,6 +147,7 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
         worker_lanes_[owner_[s]].push_back(LaneIndex(p, s));
       }
     }
+    worker_dead_.assign(workers, 0);
     worker_threads_.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
       worker_threads_.emplace_back(&ShardedVosSketch::WorkerLoop, this, w);
@@ -83,17 +155,45 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
   } else {
     producers_ = 1;  // synchronous ingestion is single-threaded by contract
   }
+  static_memory_bits_ = MemoryBits();
 }
 
 ShardedVosSketch::~ShardedVosSketch() {
   if (!async()) return;
-  Flush();
+  (void)Flush();  // drains even when degraded; status irrelevant here
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& t : worker_threads_) t.join();
+}
+
+void ShardedVosSketch::ApplySyncElement(const stream::Element& e) {
+  const uint32_t s = router_.ShardOf(e.user);
+  if (degraded_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shard_status_[s].ok()) {
+      // Poisoned shard: reject instead of corrupting partial state.
+      ++dropped_elements_;
+      return;
+    }
+  }
+  stream::Element local = e;
+  if (dense_remap()) local.user = dense_map_.LocalOf(e.user);
+  FaultInjector& injector = FaultInjector::Global();
+  try {
+    if (injector.armed() &&
+        injector.Fire(FaultSite::kUpdateThrow, s, /*producer=*/0)) {
+      throw std::runtime_error("injected update fault");
+    }
+    shards_[s].Update(local);
+  } catch (const std::exception& ex) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PoisonShardLocked(
+        s, Status::Internal(ShardTag(s) + " update failed: " + ex.what()));
+    ++dropped_elements_;
+  }
 }
 
 void ShardedVosSketch::Update(const stream::Element& e, unsigned producer) {
@@ -104,15 +204,9 @@ void ShardedVosSketch::Update(const stream::Element& e, unsigned producer) {
   // multi-lane caller: lane ids are simply applied inline, in order.)
   VOS_CHECK(producer < config_.ingest_producers)
       << "producer" << producer << "of" << config_.ingest_producers;
+  ++accepted_[producer];
   if (!async()) {
-    const uint32_t s = router_.ShardOf(e.user);
-    if (!dense_remap()) {
-      shards_[s].Update(e);
-    } else {
-      stream::Element local = e;
-      local.user = dense_map_.LocalOf(e.user);
-      shards_[s].Update(local);
-    }
+    ApplySyncElement(e);
     return;
   }
   std::vector<stream::Element>& pending = pending_[producer];
@@ -126,8 +220,9 @@ void ShardedVosSketch::UpdateBatch(const stream::Element* elements,
   if (count == 0) return;
   VOS_CHECK(producer < config_.ingest_producers)
       << "producer" << producer << "of" << config_.ingest_producers;
+  accepted_[producer] += count;
   if (!async()) {
-    for (size_t i = 0; i < count; ++i) Update(elements[i]);
+    for (size_t i = 0; i < count; ++i) ApplySyncElement(elements[i]);
     return;
   }
   // Keep the lane's per-shard order: anything buffered by Update() on
@@ -173,23 +268,89 @@ void ShardedVosSketch::FlushPendingBuffer(unsigned producer) {
   }
 }
 
+void ShardedVosSketch::PoisonShardLocked(uint32_t shard, Status status) {
+  if (shard_status_[shard].ok()) shard_status_[shard] = std::move(status);
+  degraded_.store(true, std::memory_order_relaxed);
+  if (!lanes_.empty()) {
+    // Discard the shard's backlog on every lane: the data is lost either
+    // way, and leaving it queued would wedge Flush barriers and
+    // back-pressured producers forever.
+    for (unsigned p = 0; p < producers_; ++p) {
+      LaneQueue& lane = lanes_[LaneIndex(p, shard)];
+      for (const std::vector<stream::Element>& batch : lane.batches) {
+        dropped_elements_ += batch.size();
+        queued_bytes_ -= batch.size() * sizeof(stream::Element);
+      }
+      lane.completed += lane.batches.size();
+      lane.batches.clear();
+    }
+  }
+  cv_.notify_all();
+}
+
 void ShardedVosSketch::EnqueueSubBatch(unsigned producer, uint32_t shard,
                                        std::vector<stream::Element> batch) {
   const size_t lane = LaneIndex(producer, shard);
+  const size_t batch_bytes = batch.size() * sizeof(stream::Element);
   std::unique_lock<std::mutex> lock(mu_);
+  if (!shard_status_[shard].ok()) {
+    // Degraded mode: the shard already failed; reject instead of queueing
+    // work nobody will ever apply.
+    dropped_elements_ += batch.size();
+    return;
+  }
+  if (config_.memory_budget_bits > 0 &&
+      (static_memory_bits_ / 8 + queued_bytes_ + batch_bytes) * 8 >
+          config_.memory_budget_bits) {
+    if (budget_status_.ok()) {
+      budget_status_ = Status::ResourceExhausted(
+          "ingest backlog would exceed memory_budget_bits (" +
+          std::to_string(config_.memory_budget_bits) + "); batch dropped");
+    }
+    degraded_.store(true, std::memory_order_relaxed);
+    dropped_elements_ += batch.size();
+    return;
+  }
   // Back-pressure on exactly the full queue: only this producer blocks,
   // and only until shard `shard`'s worker drains a sub-batch — other
-  // lanes keep flowing.
-  cv_.wait(lock,
-           [&] { return lanes_[lane].batches.size() < config_.queue_capacity; });
+  // lanes keep flowing. A poison unblocks the wait too (the backlog is
+  // discarded, so the queue can only be "full" while healthy).
+  const auto room = [&] {
+    return lanes_[lane].batches.size() < config_.queue_capacity ||
+           !shard_status_[shard].ok();
+  };
+  if (config_.enqueue_timeout_ms > 0) {
+    if (!cv_.wait_for(lock,
+                      std::chrono::milliseconds(config_.enqueue_timeout_ms),
+                      room)) {
+      // The lane is starved: its worker made no room within the
+      // deadline. Poison the shard (sticky) so the failure is surfaced
+      // at the next Flush instead of silently losing only this batch.
+      PoisonShardLocked(
+          shard, Status::DeadlineExceeded(
+                     ShardTag(shard) + " enqueue timed out after " +
+                     std::to_string(config_.enqueue_timeout_ms) +
+                     " ms (lane starved)"));
+      dropped_elements_ += batch.size();
+      return;
+    }
+  } else {
+    cv_.wait(lock, room);
+  }
+  if (!shard_status_[shard].ok()) {
+    dropped_elements_ += batch.size();
+    return;
+  }
   lanes_[lane].batches.push_back(std::move(batch));
   ++lanes_[lane].enqueued;
+  queued_bytes_ += batch_bytes;
   lock.unlock();
   cv_.notify_all();
 }
 
 void ShardedVosSketch::WorkerLoop(unsigned worker) {
   const std::vector<size_t>& lanes = worker_lanes_[worker];
+  FaultInjector& injector = FaultInjector::Global();
   // Round-robin cursor over the worker's lanes so no producer's queue is
   // starved while another lane stays hot.
   size_t cursor = 0;
@@ -220,46 +381,192 @@ void ShardedVosSketch::WorkerLoop(unsigned worker) {
       lanes_[lane].batches.pop_front();
     }
     cv_.notify_all();  // queue shrank: unblock a back-pressured producer
+    const uint32_t shard = static_cast<uint32_t>(lane % router_.num_shards());
+    const unsigned producer =
+        static_cast<unsigned>(lane / router_.num_shards());
+    const size_t batch_bytes = batch.size() * sizeof(stream::Element);
+    if (injector.armed()) {
+      const uint32_t stall = injector.StallMs(shard, producer);
+      if (stall > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+      }
+      if (injector.Fire(FaultSite::kWorkerKill, shard, producer)) {
+        // The worker "crashes" mid-batch: this batch and every queued
+        // batch of its shards are lost, its shards are poisoned, and the
+        // thread exits. Counters are settled so Flush barriers terminate
+        // (degraded) instead of hanging on a dead thread.
+        std::lock_guard<std::mutex> lock(mu_);
+        worker_dead_[worker] = 1;
+        dropped_elements_ += batch.size();
+        queued_bytes_ -= batch_bytes;
+        ++lanes_[lane].completed;
+        for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+          if (owner_[s] != worker) continue;
+          PoisonShardLocked(
+              s, Status::Internal(
+                     ShardTag(s) +
+                     " worker killed mid-batch (fault injection); queued "
+                     "batches lost"));
+        }
+        cv_.notify_all();
+        return;
+      }
+    }
     // Every element of the sub-batch belongs to this lane's shard and is
     // already in shard-local coordinates — apply verbatim, no scanning.
-    VosSketch& sketch = shards_[lane % router_.num_shards()];
-    for (const stream::Element& e : batch) sketch.Update(e);
+    // Exceptions are caught at this worker boundary (the library itself
+    // never throws; a throw models a worker crash — fault injection or a
+    // genuinely broken Update) and poison the shard instead of
+    // propagating into std::terminate.
+    bool poisoned = false;
+    try {
+      VosSketch& sketch = shards_[shard];
+      for (const stream::Element& e : batch) {
+        if (injector.armed() &&
+            injector.Fire(FaultSite::kUpdateThrow, shard, producer)) {
+          throw std::runtime_error("injected update fault");
+        }
+        sketch.Update(e);
+      }
+    } catch (const std::exception& ex) {
+      poisoned = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      PoisonShardLocked(shard, Status::Internal(ShardTag(shard) +
+                                                " update failed: " +
+                                                ex.what()));
+      // The batch is partially applied; count it all as affected — the
+      // shard's state is suspect either way and a checkpoint will refuse
+      // to cover it.
+      dropped_elements_ += batch.size();
+    }
     batch.clear();
     batch.shrink_to_fit();  // release before signalling completion
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++lanes_[lane].completed;
+      queued_bytes_ -= batch_bytes;
+      if (!poisoned) {
+        ++lanes_[lane].completed;
+      } else if (lanes_[lane].completed < lanes_[lane].enqueued) {
+        // PoisonShardLocked settled the queued backlog; settle the
+        // in-flight batch it could not see.
+        ++lanes_[lane].completed;
+      }
     }
     cv_.notify_all();  // Flush() may be waiting on completion counts
   }
 }
 
-void ShardedVosSketch::Flush() {
-  if (!async()) return;
+Status ShardedVosSketch::Flush() {
+  if (!async()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return IngestStatusLocked();
+  }
   for (unsigned p = 0; p < producers_; ++p) FlushPendingBuffer(p);
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
+  const auto drained = [&] {
     for (const LaneQueue& lane : lanes_) {
       if (lane.completed != lane.enqueued) return false;
     }
     return true;
-  });
+  };
+  if (config_.flush_timeout_ms > 0) {
+    if (!cv_.wait_for(lock,
+                      std::chrono::milliseconds(config_.flush_timeout_ms),
+                      drained)) {
+      size_t pending = 0;
+      for (const LaneQueue& lane : lanes_) {
+        pending += lane.enqueued - lane.completed;
+      }
+      return Status::DeadlineExceeded(
+          "Flush timed out after " +
+          std::to_string(config_.flush_timeout_ms) + " ms with " +
+          std::to_string(pending) + " sub-batches unapplied");
+    }
+  } else {
+    cv_.wait(lock, drained);
+  }
+  return IngestStatusLocked();
 }
 
-void ShardedVosSketch::FlushProducer(unsigned producer) {
+Status ShardedVosSketch::FlushProducer(unsigned producer) {
   VOS_CHECK(producer < config_.ingest_producers)
       << "producer" << producer << "of" << config_.ingest_producers;
-  if (!async()) return;
+  if (!async()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return IngestStatusLocked();
+  }
   FlushPendingBuffer(producer);
   const size_t first = LaneIndex(producer, 0);
   const size_t last = first + router_.num_shards();
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
+  const auto drained = [&] {
     for (size_t l = first; l < last; ++l) {
       if (lanes_[l].completed != lanes_[l].enqueued) return false;
     }
     return true;
-  });
+  };
+  if (config_.flush_timeout_ms > 0) {
+    if (!cv_.wait_for(lock,
+                      std::chrono::milliseconds(config_.flush_timeout_ms),
+                      drained)) {
+      return Status::DeadlineExceeded(
+          "FlushProducer(" + std::to_string(producer) +
+          ") timed out after " + std::to_string(config_.flush_timeout_ms) +
+          " ms");
+    }
+  } else {
+    cv_.wait(lock, drained);
+  }
+  return IngestStatusLocked();
+}
+
+Status ShardedVosSketch::IngestStatusLocked() const {
+  for (const Status& status : shard_status_) {
+    if (!status.ok()) return status;
+  }
+  return budget_status_;
+}
+
+Status ShardedVosSketch::IngestStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IngestStatusLocked();
+}
+
+uint64_t ShardedVosSketch::dropped_elements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_elements_;
+}
+
+Status ShardedVosSketch::Checkpoint(const std::string& path) {
+  const Status flushed = Flush();
+  if (!flushed.ok()) {
+    // A checkpoint must only ever cover state every accepted element
+    // reached; a degraded pipeline has dropped data, so its watermarks
+    // would lie.
+    return Status::FailedPrecondition(
+        "cannot checkpoint a degraded pipeline: " + flushed.ToString());
+  }
+  return ShardedCheckpointIo::Save(*this, path);
+}
+
+Status ShardedVosSketch::Restore(const std::string& path) {
+  if (async()) {
+    // Quiesce and DISCARD: whatever is buffered or queued belongs to the
+    // state being thrown away; the restored watermarks say exactly where
+    // each lane resumes. (Poisoned shards' backlogs are already gone.)
+    for (unsigned p = 0; p < producers_; ++p) {
+      pending_[p].clear();
+      pending_size_[p].store(0, std::memory_order_relaxed);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      for (const LaneQueue& lane : lanes_) {
+        if (lane.completed != lane.enqueued) return false;
+      }
+      return true;
+    });
+  }
+  return ShardedCheckpointIo::Restore(this, path);
 }
 
 bool ShardedVosSketch::HasPendingIngest() const {

@@ -76,6 +76,21 @@
 // synchronous mode all ingest calls mutate shards inline and must come
 // from one thread at a time regardless of the producer id.
 
+// Failure semantics (PR 6): shard workers are no longer infallible. A
+// worker exception (or an injected fault — common/fault_injector.h)
+// poisons its shard: the shard's sticky non-OK Status is returned from
+// Flush()/IngestStatus(), its queued and future sub-batches are dropped
+// (counted in dropped_elements()), and the rest of the pipeline keeps
+// flowing — degraded, not dead. Queries keep serving whatever state the
+// shards hold; the method layer keeps serving its last snapshot. Enqueue
+// and Flush accept deadlines (ShardedVosConfig::*_timeout_ms) so a
+// starved lane surfaces as Status::DeadlineExceeded instead of a silent
+// hang. Recovery is Checkpoint()/Restore(): an atomic, CRC-checked v3
+// container (core/vos_io.h) holding every shard's state, the dense remap
+// and the per-lane ingest watermarks recorded at the Flush barrier —
+// replaying each lane's stream from its watermark reproduces the
+// uninterrupted state bit-for-bit (tests/checkpoint_recovery_test.cc).
+
 #pragma once
 
 #include <atomic>
@@ -84,9 +99,11 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
 #include "stream/shard_router.h"
@@ -121,14 +138,41 @@ struct ShardedVosConfig {
   /// full queue blocks that producer (back-pressure instead of unbounded
   /// memory).
   size_t queue_capacity = 64;
+  /// Deadline for a back-pressured enqueue, in milliseconds (0 = block
+  /// indefinitely, the pre-PR-6 behaviour). On expiry the sub-batch is
+  /// dropped, the destination shard's sticky status becomes
+  /// DeadlineExceeded (lane starved), and the producer keeps running.
+  uint64_t enqueue_timeout_ms = 0;
+  /// Deadline for Flush()/FlushProducer(), in milliseconds (0 = wait
+  /// indefinitely). On expiry Flush returns DeadlineExceeded without
+  /// poisoning anything — the wait was abandoned, not the data.
+  uint64_t flush_timeout_ms = 0;
+  /// Optional memory ceiling in bits over the sketch's static footprint
+  /// plus queued-but-unapplied sub-batches (0 = unbounded). A config
+  /// whose static footprint alone exceeds the budget is rejected at
+  /// construction (ValidateConfig); at runtime an enqueue that would
+  /// cross the ceiling is dropped and the sticky ingest status becomes
+  /// ResourceExhausted — graceful degradation instead of OOM.
+  uint64_t memory_budget_bits = 0;
 };
 
 /// S independent VosSketch shards behind one ingest/query facade.
 class ShardedVosSketch {
  public:
+  /// Aborts (VOS_CHECK) with ValidateConfig's message on a degenerate
+  /// config — a zero queue capacity must fail here, loudly, not deadlock
+  /// the first back-pressured enqueue.
   ShardedVosSketch(const ShardedVosConfig& config, UserId num_users,
                    VosEstimatorOptions estimator_options = {});
   ~ShardedVosSketch();
+
+  /// Rejects degenerate configurations with a clear InvalidArgument:
+  /// zero shards/queue capacity/batch size/producer lanes, zero k or m,
+  /// and a memory_budget_bits smaller than the config's own static
+  /// footprint. The constructor enforces this; callers that would rather
+  /// handle the error than abort can pre-validate.
+  static Status ValidateConfig(const ShardedVosConfig& config,
+                               UserId num_users);
 
   ShardedVosSketch(const ShardedVosSketch&) = delete;
   ShardedVosSketch& operator=(const ShardedVosSketch&) = delete;
@@ -154,14 +198,60 @@ class ShardedVosSketch {
                    unsigned producer = 0);
 
   /// Blocks until every element accepted on ANY lane is applied to its
-  /// shard (including all Update() buffers). Requires that no producer is
-  /// feeding concurrently. No-op in synchronous mode.
-  void Flush();
+  /// shard (including all Update() buffers) or dropped against a
+  /// poisoned shard, then returns IngestStatus(). Requires that no
+  /// producer is feeding concurrently. With flush_timeout_ms set, an
+  /// expired wait returns DeadlineExceeded (and applies no state
+  /// change). In synchronous mode returns IngestStatus() immediately.
+  Status Flush();
 
-  /// Blocks until every element accepted on lane `producer` is applied.
-  /// Safe to call from the lane's own thread while OTHER lanes are still
-  /// feeding.
-  void FlushProducer(unsigned producer);
+  /// Blocks until every element accepted on lane `producer` is applied
+  /// (or dropped), then returns IngestStatus(). Safe to call from the
+  /// lane's own thread while OTHER lanes are still feeding.
+  Status FlushProducer(unsigned producer);
+
+  /// The sticky health of the ingest fabric: OK while every shard is
+  /// healthy and no batch has been rejected; otherwise the first
+  /// poisoned shard's status (worker exception / kill / starvation) or
+  /// the budget-rejection status. Sticky until Restore().
+  Status IngestStatus() const;
+
+  /// Elements dropped because their destination shard was poisoned, a
+  /// back-pressured enqueue timed out, or the memory budget was hit.
+  /// Zero on a healthy pipeline.
+  uint64_t dropped_elements() const;
+
+  // --- Durability (see file comment and core/vos_io.h) ------------------
+
+  /// Per-lane ingest watermarks: watermark[p] = elements accepted on
+  /// lane p since construction (or the last Restore). At a successful
+  /// Flush barrier every accepted element is applied, so the watermarks
+  /// name the exact per-lane stream positions a checkpoint covers. Only
+  /// stable once the pipeline is quiesced.
+  const std::vector<uint64_t>& ingest_watermarks() const {
+    return accepted_;
+  }
+
+  /// Atomically checkpoints the flushed state (every shard's sketch, the
+  /// dense remap, the per-lane watermarks) to `path`: written to a temp
+  /// file, fsynced, then renamed — a crash mid-checkpoint leaves any
+  /// previous checkpoint at `path` intact. Flushes first (same
+  /// no-concurrent-producer contract as Flush); refuses with the sticky
+  /// status if the pipeline is degraded — a checkpoint must never cover
+  /// dropped data.
+  Status Checkpoint(const std::string& path);
+
+  /// Restores a checkpoint written by Checkpoint() with a matching
+  /// configuration (manifest-checked). All-or-nothing: every section is
+  /// CRC-verified and staged before any live state changes, so a torn or
+  /// corrupt file leaves this sketch exactly as it was. On success the
+  /// shard sketches, watermarks and dense remap match the checkpointed
+  /// state bit-for-bit, sticky ingest statuses are cleared (recovery
+  /// heals poisoning), and ingestion may resume — resume each lane's
+  /// stream from ingest_watermarks()[lane]. Shards whose worker thread
+  /// was killed stay rejected (FailedPrecondition): a dead thread cannot
+  /// be resurrected in-process; restore into a fresh instance instead.
+  Status Restore(const std::string& path);
 
   /// True while elements are buffered or queued but not yet applied.
   /// Safe to poll from any thread while producer lanes are feeding (the
@@ -229,19 +319,30 @@ class ShardedVosSketch {
   UserId num_users() const { return num_users_; }
 
  private:
+  friend class ShardedCheckpointIo;  // serialization needs raw state
+
   /// One bounded FIFO of shard-owned sub-batches: the (producer, shard)
   /// channel. Elements are already in shard-local coordinates, so the
   /// owning worker applies them verbatim.
   struct LaneQueue {
     std::deque<std::vector<stream::Element>> batches;  // guarded by mu_
     size_t enqueued = 0;   ///< sub-batches pushed (guarded by mu_)
-    size_t completed = 0;  ///< sub-batches fully applied (guarded by mu_)
+    size_t completed = 0;  ///< sub-batches applied or dropped (mu_)
   };
 
   bool async() const { return !worker_threads_.empty(); }
   size_t LaneIndex(unsigned producer, uint32_t shard) const {
     return static_cast<size_t>(producer) * router_.num_shards() + shard;
   }
+  /// Applies one element inline (synchronous mode), routing through the
+  /// dense remap. Catches worker-model exceptions and poisons the shard,
+  /// exactly like the async apply loop.
+  void ApplySyncElement(const stream::Element& e);
+  /// Marks `shard` failed (first error wins, sticky), discards its
+  /// queued sub-batches on every lane and wakes all waiters. Requires
+  /// mu_.
+  void PoisonShardLocked(uint32_t shard, Status status);
+  Status IngestStatusLocked() const;  // requires mu_
   /// The one routing pass: splits [elements, elements+count) into
   /// per-shard sub-batches rewritten to shard-local coordinates.
   /// `per_shard` must hold num_shards() empty buckets.
@@ -274,6 +375,12 @@ class ShardedVosSketch {
   /// without racing the lane's vector mutations.
   std::vector<std::atomic<size_t>> pending_size_;
 
+  /// accepted_[p] = elements accepted on lane p since construction (or
+  /// the last Restore): the per-lane ingest watermarks. Written only by
+  /// lane p's thread; stable reads require a quiesced pipeline (the
+  /// Flush barrier's mutex pairs the hand-off).
+  std::vector<uint64_t> accepted_;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   /// Producer-major: lanes_[LaneIndex(p, s)] is lane p's shard-s queue.
@@ -284,6 +391,26 @@ class ShardedVosSketch {
   std::vector<std::vector<size_t>> worker_lanes_;
   bool stopping_ = false;
   std::vector<std::thread> worker_threads_;
+
+  // --- Failure state (all guarded by mu_ unless noted) ------------------
+  /// Sticky per-shard health; non-OK = poisoned (worker exception, kill,
+  /// lane starvation). First error wins.
+  std::vector<Status> shard_status_;
+  /// Sticky memory-budget rejection (ResourceExhausted) if the queued
+  /// backlog ever crossed memory_budget_bits.
+  Status budget_status_;
+  /// Fast-path mirror of "any sticky status is non-OK": one relaxed load
+  /// keeps the healthy hot paths at their measured cost.
+  std::atomic<bool> degraded_{false};
+  /// Elements rejected (poisoned shard / enqueue deadline / budget).
+  uint64_t dropped_elements_ = 0;
+  /// Bytes held by queued-but-unapplied sub-batches (budget accounting).
+  size_t queued_bytes_ = 0;
+  /// Static (arrays + tables) footprint in bits, computed once.
+  size_t static_memory_bits_ = 0;
+  /// worker_dead_[w]: the worker thread exited via an injected kill; its
+  /// shards cannot ingest again in this process.
+  std::vector<uint8_t> worker_dead_;
 };
 
 }  // namespace vos::core

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "stream/element.h"
 
 namespace vos::core {
@@ -64,18 +65,22 @@ class SimilarityMethod {
   }
 
   /// Blocks until every element previously passed to Update/UpdateBatch
-  /// (on any lane) is reflected in the sketch state. No-op for
-  /// synchronous methods; the harness calls it before evaluating a
-  /// checkpoint so asynchronous ingest pipelines quiesce first. Requires
-  /// that no producer lane is feeding concurrently.
-  virtual void FlushIngest() {}
+  /// (on any lane) is reflected in the sketch state, then reports the
+  /// ingest pipeline's health: OK for synchronous methods and healthy
+  /// pipelines; a sticky non-OK Status when a concurrent pipeline has
+  /// dropped data (poisoned shard, starved lane, exceeded memory budget
+  /// — see core/sharded_vos_sketch.h). The harness calls it before
+  /// evaluating a checkpoint so asynchronous ingest pipelines quiesce
+  /// first, and aborts the run on a non-OK answer. Requires that no
+  /// producer lane is feeding concurrently.
+  virtual Status FlushIngest() { return Status::OK(); }
 
   /// Producer-lane variant: blocks until lane `producer`'s elements are
   /// applied. Safe to call from the lane's own thread while other lanes
   /// are still feeding; the default forwards to the global FlushIngest.
-  virtual void FlushIngest(unsigned producer) {
+  virtual Status FlushIngest(unsigned producer) {
     (void)producer;
-    FlushIngest();
+    return FlushIngest();
   }
 
   /// Number of ingest lanes that may call the producer-lane UpdateBatch

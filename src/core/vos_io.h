@@ -2,21 +2,39 @@
 // restore it later (checkpoint/restore, shipping shard sketches to a
 // merger, offline analysis of an online sketch).
 //
-// Format (little-endian, versioned):
+// Single-sketch format (little-endian, versioned):
 //   magic "VOSSKTCH" | u32 version | u32 k | u64 m | u64 seed
 //   | u8 psi_kind | u64 f_seed (v2+ only: resolved f-family seed; see
 //   VosConfig::f_seed) | u32 num_users | u64 num_array_words | array words
 //   | cardinalities (u32 × num_users) | u64 xor-checksum
 //
-// Save always writes the current version (v2). Load accepts every version
-// in [kMinVersion, kVersion]: v1 files predate the f_seed field, and were
-// therefore necessarily written with the legacy default f family — Load
-// restores them with f_seed = 0, which makes VosSketch re-derive exactly
-// that family from `seed`.
+// VosSketchIo::Save always writes the current single-sketch version (v2).
+// Load accepts every version in [kMinVersion, kVersion]: v1 files predate
+// the f_seed field, and were therefore necessarily written with the legacy
+// default f family — Load restores them with f_seed = 0, which makes
+// VosSketch re-derive exactly that family from `seed`. Every read is
+// bounds-checked against the actual file size BEFORE anything is
+// allocated: a truncated, oversized or size-lying file fails with a
+// Corruption status naming what was expected, never with a wild
+// allocation or a silent short read.
 //
-// The checksum covers the payload words and catches truncation and
-// bit-rot; Load re-derives the 1-bit count from the payload, so a loaded
-// sketch is indistinguishable from the original (tested bit-for-bit).
+// Sharded checkpoint container (v3, ShardedCheckpointIo): the crash-safe
+// snapshot of a whole ShardedVosSketch — every shard's sketch, the dense
+// user remap and the per-lane ingest watermarks — in one sectioned file:
+//
+//   magic "VOSSKTCH" | u32 version = 3 | u32 section_count
+//   section := u32 type | u32 id | u64 payload_bytes | payload | u32 crc32
+//
+// The CRC32 (IEEE, common/crc32.h) of each section covers its header AND
+// payload, so a flipped bit anywhere in a section is pinned to that
+// section by name in the error. The manifest (first section, always)
+// records the geometry the checkpoint was taken under; Restore refuses a
+// mismatched live instance instead of guessing. Writing is atomic:
+// everything is serialized to memory, written to `path + ".tmp"`, fsynced,
+// renamed over `path`, and the parent directory fsynced — a crash at any
+// point leaves either the old checkpoint or the new one, never a blend.
+// Restore is all-or-nothing: every section is CRC-verified and staged
+// before one byte of live state changes.
 
 #pragma once
 
@@ -27,6 +45,8 @@
 
 namespace vos::core {
 
+class ShardedVosSketch;
+
 /// Stateless serializer for VosSketch (friend of the class).
 class VosSketchIo {
  public:
@@ -34,14 +54,65 @@ class VosSketchIo {
   /// problems.
   static Status Save(const VosSketch& sketch, const std::string& path);
 
-  /// Reads a sketch from `path`. Corruption on malformed/damaged files.
+  /// Reads a sketch from `path`. Corruption on malformed/damaged files;
+  /// every size field is validated against the bytes actually present
+  /// before any allocation.
   static StatusOr<VosSketch> Load(const std::string& path);
+
+  /// Appends the versioned field layout (everything between the version
+  /// field and the trailing checksum of a v2 file) to `out`. Shared by
+  /// Save and the v3 shard sections.
+  static void SerializeFields(const VosSketch& sketch, std::string* out);
+
+  /// Bounds-checked inverse of SerializeFields over [data, data + size):
+  /// parses one sketch in `version` (1 or 2) layout. `context` prefixes
+  /// error messages; `*consumed` receives the bytes read on success.
+  static StatusOr<VosSketch> ParseFields(const uint8_t* data, size_t size,
+                                         uint32_t version,
+                                         const std::string& context,
+                                         size_t* consumed);
 
   static constexpr char kMagic[9] = "VOSSKTCH";
   /// The version Save writes.
   static constexpr uint32_t kVersion = 2;
   /// The oldest version Load still reads (v1: no f_seed field).
   static constexpr uint32_t kMinVersion = 1;
+};
+
+/// Atomic, CRC-checked whole-pipeline checkpoints of a ShardedVosSketch
+/// (the v3 sectioned container; see file comment). Friend of
+/// ShardedVosSketch — use ShardedVosSketch::Checkpoint()/Restore(), which
+/// add the flush barrier and degraded-pipeline refusal on top.
+class ShardedCheckpointIo {
+ public:
+  /// Serializes the (quiesced) sketch and atomically commits it to
+  /// `path`: temp file + fsync + rename + parent fsync. IoError on
+  /// filesystem problems. Honors the checkpoint fault-injection sites
+  /// (common/fault_injector.h): tear/corrupt produce a damaged file that
+  /// still "succeeds" (silent corruption for Restore to catch), crash
+  /// leaves only the temp file and returns IoError.
+  static Status Save(const ShardedVosSketch& sketch,
+                     const std::string& path);
+
+  /// Restores `path` into `sketch`. All-or-nothing: parses and verifies
+  /// every section (structure, CRC, manifest-vs-live-config match, shard
+  /// completeness) into staged state first; any failure — named by
+  /// section — leaves `sketch` untouched. On success shard state,
+  /// watermarks and sticky statuses are replaced under the pipeline lock.
+  static Status Restore(ShardedVosSketch* sketch, const std::string& path);
+
+  /// The container version this writer produces.
+  static constexpr uint32_t kVersion = 3;
+
+  // Section types of the v3 container.
+  static constexpr uint32_t kSectionManifest = 1;
+  static constexpr uint32_t kSectionDenseMap = 2;
+  static constexpr uint32_t kSectionWatermarks = 3;
+  static constexpr uint32_t kSectionShard = 4;
+
+  /// Stable name of a section type ("manifest", "shard", ...), used in
+  /// every Restore error so a damaged file names its damaged section.
+  static const char* SectionName(uint32_t type);
 };
 
 }  // namespace vos::core

@@ -80,7 +80,12 @@ StatusOr<ExperimentResult> RunAccuracyExperiment(
         const std::vector<exact::PairTruth> truths =
             exact::ComputePairTruths(store, tracked.pairs);
         for (auto& method : methods) {
-          method->FlushIngest();  // quiesce async pipelines at checkpoints
+          // Quiesce async pipelines at checkpoints; a degraded pipeline
+          // (poisoned shard, starved lane) invalidates the whole
+          // accuracy run, so fail loudly instead of scoring bad state.
+          const Status flushed = method->FlushIngest();
+          VOS_CHECK(flushed.ok())
+              << method->Name() << "ingest degraded:" << flushed.ToString();
           method->PrepareQuery(tracked.users);
           std::vector<core::PairEstimate> estimates;
           estimates.reserve(tracked.pairs.size());
@@ -118,7 +123,9 @@ StatusOr<double> MeasureUpdateRuntime(const stream::GraphStream& stream,
     for (size_t t = 0; t < total; t += batch) {
       method->UpdateBatch(elements + t, std::min(batch, total - t));
     }
-    method->FlushIngest();
+    const Status flushed = method->FlushIngest();
+    VOS_CHECK(flushed.ok())
+        << method->Name() << "ingest degraded:" << flushed.ToString();
     return timer.ElapsedSeconds();
   }
 
@@ -151,7 +158,9 @@ StatusOr<double> MeasureUpdateRuntime(const stream::GraphStream& stream,
     }
     for (std::thread& t : threads) t.join();
   }
-  method->FlushIngest();
+  const Status flushed = method->FlushIngest();
+  VOS_CHECK(flushed.ok())
+      << method->Name() << "ingest degraded:" << flushed.ToString();
   return timer.ElapsedSeconds();
 }
 

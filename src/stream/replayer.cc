@@ -38,6 +38,31 @@ void StreamReplayer::ReplayBatched(
   }
 }
 
+std::vector<std::vector<Element>> StreamReplayer::SplitByUserLane(
+    const Element* elements, size_t count, unsigned num_lanes) {
+  VOS_CHECK(num_lanes >= 1) << "need at least one lane";
+  std::vector<std::vector<Element>> lanes(num_lanes);
+  for (auto& lane : lanes) lane.reserve(count / num_lanes + 1);
+  for (size_t t = 0; t < count; ++t) {
+    lanes[elements[t].user % num_lanes].push_back(elements[t]);
+  }
+  return lanes;
+}
+
+void StreamReplayer::ReplayBatchedFrom(
+    const Element* elements, size_t count, size_t start, size_t batch_size,
+    const std::function<void(const Element*, size_t)>& on_batch) {
+  VOS_CHECK(start <= count)
+      << "watermark" << start << "beyond the lane's stream (" << count
+      << "elements) — wrong stream for this checkpoint";
+  for (size_t t = start; t < count;) {
+    const size_t n =
+        batch_size == 0 ? count - t : std::min(batch_size, count - t);
+    if (on_batch) on_batch(elements + t, n);
+    t += n;
+  }
+}
+
 void StreamReplayer::Replay(
     const GraphStream& stream, size_t num_checkpoints,
     const std::function<void(const Element&)>& on_element,

@@ -46,6 +46,27 @@ class StreamReplayer {
       const GraphStream& stream, size_t num_checkpoints, size_t batch_size,
       const std::function<void(const Element* first, size_t count)>& on_batch,
       const std::function<void(size_t t)>& on_checkpoint);
+
+  // --- Recovery replay (see core/vos_io.h, ShardedCheckpointIo) ---------
+
+  /// The canonical producer-lane split: lanes[user % num_lanes] ←
+  /// element, preserving stream order within each lane. A user's whole
+  /// history rides one lane (feasible sub-streams), and the rule depends
+  /// on nothing but num_lanes — so a recovering process re-derives the
+  /// identical lanes and can resume each one from its checkpointed
+  /// watermark. `num_lanes` ≥ 1.
+  static std::vector<std::vector<Element>> SplitByUserLane(
+      const Element* elements, size_t count, unsigned num_lanes);
+
+  /// Replays elements[start, count) in `batch_size`-sized batches through
+  /// `on_batch` (batch_size 0 = one maximal batch). This is the recovery
+  /// half of the watermark contract: after Restore, call this per lane
+  /// with start = ingest_watermarks()[lane] to re-apply exactly the
+  /// elements the checkpoint does not cover. `start` > count aborts —
+  /// a watermark beyond the lane's stream means the wrong stream.
+  static void ReplayBatchedFrom(
+      const Element* elements, size_t count, size_t start, size_t batch_size,
+      const std::function<void(const Element* first, size_t count)>& on_batch);
 };
 
 }  // namespace vos::stream

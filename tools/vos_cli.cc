@@ -13,19 +13,36 @@
 //       Run the §V accuracy protocol and print AAPE/ARMSE per checkpoint.
 //   vos convert --in=<path> --out=<path> [--format=text|bin]
 //       Convert a stream file between the text and binary formats.
+//   vos checkpoint [--dataset=<name> | --in=<path>] --ckpt=<path>
+//           [--stop-at=0.5] [--shards=4] [--producers=2] [--threads=2]
+//           [--k=256] [--m=262144] [--seed=99]
+//       Ingest the first stop-at fraction of the stream into a sharded
+//       VOS sketch and atomically checkpoint it (shards, dense remap,
+//       per-lane watermarks).
+//   vos restore [--dataset=<name> | --in=<path>] --ckpt=<path>
+//           [--verify-full] [same sizing flags as checkpoint]
+//       Restore the checkpoint (typically in a fresh process), replay
+//       each producer lane from its watermark to the end of the stream,
+//       and print the recovered state. With --verify-full also ingest
+//       the whole stream from scratch and fail unless the recovered
+//       sketch is bit-identical.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/csv_writer.h"
 #include "common/flags.h"
 #include "common/table_printer.h"
+#include "core/sharded_vos_sketch.h"
 #include "harness/experiment.h"
 #include "stream/binary_io.h"
 #include "stream/dataset.h"
+#include "stream/replayer.h"
 #include "stream/stream_io.h"
 #include "stream/stream_stats.h"
 
@@ -33,13 +50,17 @@ namespace vos::cli {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: vos <datasets|generate|inspect|run|convert> [--flags]\n"
+    "usage: vos <datasets|generate|inspect|run|convert|checkpoint|restore>"
+    " [--flags]\n"
     "  vos datasets\n"
     "  vos generate --dataset=youtube_s [--scale=0.5] --out=s.bin "
     "[--format=bin]\n"
     "  vos inspect  --in=s.bin | --dataset=toy\n"
     "  vos run      --dataset=toy [--methods=MinHash,OPH,RP,VOS] [--k=100]\n"
-    "  vos convert  --in=s.txt --out=s.bin --format=bin\n";
+    "  vos convert  --in=s.txt --out=s.bin --format=bin\n"
+    "  vos checkpoint --dataset=toy --ckpt=c.vos [--stop-at=0.5] "
+    "[--shards=4] [--producers=2]\n"
+    "  vos restore  --dataset=toy --ckpt=c.vos [--verify-full]\n";
 
 void PrintError(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -238,6 +259,144 @@ int CmdConvert(const Flags& flags) {
   return 0;
 }
 
+/// Shared sizing flags of the checkpoint/restore pair. Both processes
+/// must pass the same values — the checkpoint manifest enforces it.
+core::ShardedVosConfig MakeShardedConfig(const Flags& flags) {
+  core::ShardedVosConfig config;
+  config.base.k = static_cast<uint32_t>(flags.GetInt("k", 256));
+  config.base.m = static_cast<uint64_t>(flags.GetInt("m", 1 << 18));
+  config.base.seed = static_cast<uint64_t>(flags.GetInt("seed", 99));
+  config.num_shards = static_cast<uint32_t>(flags.GetInt("shards", 4));
+  config.ingest_threads = static_cast<unsigned>(flags.GetInt("threads", 2));
+  config.ingest_producers =
+      static_cast<unsigned>(flags.GetInt("producers", 2));
+  config.batch_size = 512;
+  return config;
+}
+
+/// Feeds each lane's elements from `start[p]` to its end, then flushes.
+Status ReplayLanes(core::ShardedVosSketch* sketch,
+                   const std::vector<std::vector<stream::Element>>& lanes,
+                   const std::vector<uint64_t>& start) {
+  for (unsigned p = 0; p < lanes.size(); ++p) {
+    stream::StreamReplayer::ReplayBatchedFrom(
+        lanes[p].data(), lanes[p].size(), start[p], 512,
+        [&](const stream::Element* batch, size_t count) {
+          sketch->UpdateBatch(batch, count, p);
+        });
+  }
+  return sketch->Flush();
+}
+
+int CmdCheckpoint(const Flags& flags) {
+  const std::string ckpt = flags.GetString("ckpt", "");
+  if (ckpt.empty()) {
+    std::fprintf(stderr, "checkpoint: --ckpt is required\n");
+    return 2;
+  }
+  auto stream = ResolveStream(flags);
+  if (!stream.ok()) {
+    PrintError(stream.status());
+    return 2;
+  }
+  const double stop_at =
+      std::min(1.0, std::max(0.0, flags.GetDouble("stop-at", 0.5)));
+  const size_t cut = static_cast<size_t>(
+      static_cast<double>(stream->size()) * stop_at);
+  const core::ShardedVosConfig config = MakeShardedConfig(flags);
+  core::ShardedVosSketch sketch(config, stream->num_users());
+  // The canonical lane split (user % lanes) over the stream PREFIX: the
+  // split of a prefix is a prefix of each lane, so the restore side can
+  // split the full stream with the same rule and resume each lane at its
+  // checkpointed watermark.
+  const auto lanes = stream::StreamReplayer::SplitByUserLane(
+      stream->elements().data(), cut, sketch.num_producers());
+  if (Status s = ReplayLanes(&sketch, lanes,
+                             std::vector<uint64_t>(lanes.size(), 0));
+      !s.ok()) {
+    PrintError(s);
+    return 1;
+  }
+  if (Status s = sketch.Checkpoint(ckpt); !s.ok()) {
+    PrintError(s);
+    return 1;
+  }
+  std::printf("checkpointed %zu of %zu elements to %s (lanes:", cut,
+              stream->size(), ckpt.c_str());
+  for (uint64_t w : sketch.ingest_watermarks()) {
+    std::printf(" %llu", static_cast<unsigned long long>(w));
+  }
+  std::printf(")\n");
+  return 0;
+}
+
+int CmdRestore(const Flags& flags) {
+  const std::string ckpt = flags.GetString("ckpt", "");
+  if (ckpt.empty()) {
+    std::fprintf(stderr, "restore: --ckpt is required\n");
+    return 2;
+  }
+  auto stream = ResolveStream(flags);
+  if (!stream.ok()) {
+    PrintError(stream.status());
+    return 2;
+  }
+  const core::ShardedVosConfig config = MakeShardedConfig(flags);
+  core::ShardedVosSketch sketch(config, stream->num_users());
+  if (Status s = sketch.Restore(ckpt); !s.ok()) {
+    PrintError(s);
+    return 1;
+  }
+  const std::vector<uint64_t> watermarks = sketch.ingest_watermarks();
+  const auto lanes = stream::StreamReplayer::SplitByUserLane(
+      stream->elements().data(), stream->size(), sketch.num_producers());
+  if (Status s = ReplayLanes(&sketch, lanes, watermarks); !s.ok()) {
+    PrintError(s);
+    return 1;
+  }
+  std::printf("restored %s and replayed", ckpt.c_str());
+  for (unsigned p = 0; p < lanes.size(); ++p) {
+    std::printf(" %zu", lanes[p].size() - static_cast<size_t>(watermarks[p]));
+  }
+  std::printf(" elements across %u lanes\n", sketch.num_producers());
+  for (uint32_t s = 0; s < sketch.num_shards(); ++s) {
+    std::printf("shard %u: beta=%.6f users=%u\n", s, sketch.shard(s).beta(),
+                sketch.shard(s).num_users());
+  }
+  if (!flags.GetBool("verify-full", false)) return 0;
+
+  // Reference: the whole stream ingested from scratch in this process.
+  core::ShardedVosSketch reference(config, stream->num_users());
+  if (Status s = ReplayLanes(&reference, lanes,
+                             std::vector<uint64_t>(lanes.size(), 0));
+      !s.ok()) {
+    PrintError(s);
+    return 1;
+  }
+  for (uint32_t s = 0; s < sketch.num_shards(); ++s) {
+    if (sketch.shard(s).array().words() !=
+        reference.shard(s).array().words()) {
+      std::fprintf(stderr,
+                   "verify-full: shard %u array differs from the "
+                   "uninterrupted run\n",
+                   s);
+      return 1;
+    }
+  }
+  for (stream::UserId u = 0; u < stream->num_users(); ++u) {
+    if (sketch.Cardinality(u) != reference.Cardinality(u)) {
+      std::fprintf(stderr,
+                   "verify-full: cardinality of user %u differs from the "
+                   "uninterrupted run\n",
+                   u);
+      return 1;
+    }
+  }
+  std::printf("verify-full: recovered state is bit-identical to the "
+              "uninterrupted run\n");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fputs(kUsage, stderr);
@@ -255,6 +414,8 @@ int Main(int argc, char** argv) {
   if (command == "inspect") return CmdInspect(*flags);
   if (command == "run") return CmdRun(*flags);
   if (command == "convert") return CmdConvert(*flags);
+  if (command == "checkpoint") return CmdCheckpoint(*flags);
+  if (command == "restore") return CmdRestore(*flags);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
 }
