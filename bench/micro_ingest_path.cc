@@ -17,6 +17,13 @@
 // verified identical to synchronous routing of the same per-producer
 // streams before any timing is reported.
 //
+// Phase "routing": producer-side routing bandwidth per kernel dispatch
+// level (common/kernels.h) — ShardRouter::Tag over the full element
+// stream, the pure hash+reduce kernel every sharded pipeline runs before
+// any queueing. Each level's tags are verified identical to the scalar
+// table's before timing; the speedup column divides by the scalar level,
+// so this row is the dispatch tier's ingest-side acceptance signal.
+//
 // Phase "checkpoint": ShardedVosSketch::Checkpoint/Restore wall time and
 // bandwidth at --shards (the PR 6 durability path: atomic CRC-checked v3
 // container). Every restored sketch is verified bit-identical to the
@@ -33,7 +40,8 @@
 //
 // Run: ./build/micro_ingest_path [--users=100000] [--edges_per_user=20]
 //      [--k=6400] [--m=33554432] [--shards=4] [--producers=4]
-//      [--batch=16384] [--candidates=1000] [--repeats=3] [--csv=out.csv]
+//      [--batch=16384] [--candidates=1000] [--repeats=3]
+//      [--dispatch=auto|scalar|neon|avx2|avx512] [--csv=out.csv]
 //      [--json=out.json]
 
 #include <algorithm>
@@ -45,7 +53,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/kernels.h"
 #include "common/timer.h"
+#include "stream/shard_router.h"
 #include "core/sharded_vos_sketch.h"
 #include "core/similarity_index.h"
 #include "core/vos_sketch.h"
@@ -144,7 +154,8 @@ int main(int argc, char** argv) {
       argc, argv,
       "[--users=N] [--edges_per_user=N] [--k=N] [--m=N] [--shards=N] "
       "[--producers=N] [--batch=N] [--candidates=N] [--repeats=N] "
-      "[--seed=N] [--csv=path] [--json=path]");
+      "[--seed=N] [--dispatch=auto|scalar|neon|avx2|avx512] [--csv=path] "
+      "[--json=path]");
   const auto users = static_cast<UserId>(flags.GetInt("users", 100000));
   const auto edges_per_user =
       static_cast<size_t>(flags.GetInt("edges_per_user", 20));
@@ -162,8 +173,25 @@ int main(int argc, char** argv) {
   config.m = static_cast<uint64_t>(flags.GetInt("m", int64_t{1} << 25));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
+  // --dispatch forces a kernel level for the whole run; the default keeps
+  // the CPUID probe's pick. Rows carry the tag in the "kernel" column —
+  // "auto" for probe-picked runs so row keys stay machine-independent.
+  const std::string dispatch = flags.GetString("dispatch", "auto");
+  std::string kernel_tag = "auto";
+  if (dispatch != "auto") {
+    kernels::DispatchLevel forced;
+    VOS_CHECK(kernels::ParseDispatchLevel(dispatch.c_str(), &forced))
+        << "--dispatch must be auto|scalar|neon|avx2|avx512, got" << dispatch;
+    VOS_CHECK(kernels::SetDispatchLevel(forced))
+        << "dispatch level" << dispatch
+        << "is not available on this build/CPU";
+    kernel_tag = kernels::LevelName(forced);
+  }
+
   PrintBanner("micro_ingest_path — sharded ingestion + incremental index",
               flags);
+  std::printf("kernel dispatch: %s (requested %s)\n",
+              kernels::Active().name, dispatch.c_str());
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("hardware threads: %u%s\n", hw,
               hw < max_shards
@@ -180,16 +208,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.m));
 
   const std::vector<std::string> header = {
-      "phase",      "engine", "shards", "producers", "threads", "seconds",
-      "throughput", "unit",   "speedup"};
+      "phase",   "engine",  "kernel",     "shards", "producers",
+      "threads", "seconds", "throughput", "unit",   "speedup"};
   TablePrinter table(header);
   std::vector<std::vector<std::string>> rows;
-  auto emit = [&](const std::string& phase, const std::string& engine,
-                  uint32_t shards, unsigned producers, unsigned threads,
-                  double seconds, double throughput, const std::string& unit,
-                  double speedup) {
+  // The routing phase stamps rows with the dispatch level it forces;
+  // every other row carries the run-wide tag.
+  auto emit_row = [&](const std::string& phase, const std::string& engine,
+                      const std::string& kernel, uint32_t shards,
+                      unsigned producers, unsigned threads, double seconds,
+                      double throughput, const std::string& unit,
+                      double speedup) {
     std::vector<std::string> row = {phase,
                                     engine,
+                                    kernel,
                                     TablePrinter::FormatInt(shards),
                                     TablePrinter::FormatInt(producers),
                                     TablePrinter::FormatInt(threads),
@@ -199,6 +231,13 @@ int main(int argc, char** argv) {
                                     TablePrinter::FormatDouble(speedup, 3)};
     table.AddRow(row);
     rows.push_back(std::move(row));
+  };
+  auto emit = [&](const std::string& phase, const std::string& engine,
+                  uint32_t shards, unsigned producers, unsigned threads,
+                  double seconds, double throughput, const std::string& unit,
+                  double speedup) {
+    emit_row(phase, engine, kernel_tag, shards, producers, threads, seconds,
+             throughput, unit, speedup);
   };
 
   // -------------------------------------------------------------- ingest
@@ -320,6 +359,50 @@ int main(int argc, char** argv) {
     emit("ingest", "sharded-async-p", max_shards, producers,
          max_shards + producers, mp_seconds, num_updates / mp_seconds,
          "updates/s", serial_seconds / mp_seconds);
+  }
+
+  // ------------------------------------------------------------- routing
+  // Routing bandwidth per kernel dispatch level: ShardRouter::Tag over
+  // the full element stream (one Mix64 + one range-reduction per
+  // element), swept enough times to be timeable. Tags verified identical
+  // to the scalar table's before timing; speedup divides by scalar.
+  {
+    const kernels::DispatchLevel restore_level = kernels::ActiveLevel();
+    const stream::ShardRouter router(max_shards, config.seed);
+    const size_t route_sweeps =
+        std::max<size_t>(1, 2'000'000 / std::max<size_t>(1, elements.size()));
+    std::vector<uint16_t> ref_tags(elements.size());
+    VOS_CHECK(kernels::SetDispatchLevel(kernels::DispatchLevel::kScalar));
+    router.Tag(elements.data(), elements.size(), ref_tags.data());
+    std::vector<uint16_t> tags(elements.size());
+    double route_scalar_seconds = 0.0;
+    size_t levels_verified = 0;
+    for (const kernels::DispatchLevel level : kernels::AvailableLevels()) {
+      VOS_CHECK(kernels::SetDispatchLevel(level));
+      const kernels::KernelTable& kernel = kernels::Active();
+      std::fill(tags.begin(), tags.end(), uint16_t{0xffff});
+      router.Tag(elements.data(), elements.size(), tags.data());
+      VOS_CHECK(tags == ref_tags)
+          << kernel.name << " routing diverges from scalar";
+      const double route_seconds = BestSeconds(repeats, [&] {
+        for (size_t s = 0; s < route_sweeps; ++s) {
+          router.Tag(elements.data(), elements.size(), tags.data());
+        }
+      });
+      if (level == kernels::DispatchLevel::kScalar) {
+        route_scalar_seconds = route_seconds;
+      }
+      emit_row("routing", "shard-tag", kernel.name, max_shards, 1, 1,
+               route_seconds,
+               static_cast<double>(elements.size() * route_sweeps) /
+                   route_seconds,
+               "routes/s", route_scalar_seconds / route_seconds);
+      ++levels_verified;
+    }
+    VOS_CHECK(kernels::SetDispatchLevel(restore_level));
+    std::printf("routing: %zu dispatch level(s) verified identical to "
+                "scalar before timing\n\n",
+                levels_verified);
   }
 
   // --------------------------------------------------------------- checkpoint

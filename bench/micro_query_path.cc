@@ -22,6 +22,15 @@
 // per-pair ShardedVosSketch::EstimatePair reference, before timing is
 // reported.
 //
+// The "kernel_hamming" / "kernel_extract" phases are the dispatch tier's
+// acceptance signal (common/kernels.h): the 1×8 blocked XOR+popcount and
+// the batched digest-extraction kernels timed once per dispatch level the
+// build + CPU offers (scalar / neon / avx2 / avx512). Every level's
+// output is verified bit-identical to the scalar reference table before
+// its timing counts, and the speedup column divides by the scalar level's
+// time — so these rows measure exactly what runtime dispatch buys on this
+// host, inside the same JSON schema bench_compare.py trends on.
+//
 // The "hot_shard" phase is the tiled tier's acceptance signal
 // (core/pair_scan.h): the candidate set is skewed so one shard owns most
 // rows — before the tier that shard's triangle ran as ONE planner task
@@ -34,14 +43,17 @@
 //
 // Run: ./build/micro_query_path [--users=2000] [--k=6400] [--threads=8]
 //      [--tau=0.5] [--repeats=3] [--planner_threads=0] [--tile_rows=0]
-//      [--banding_bands=16] [--banding_rows=8] [--csv=out.csv]
+//      [--banding_bands=16] [--banding_rows=8]
+//      [--dispatch=auto|scalar|neon|avx2|avx512] [--csv=out.csv]
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/kernels.h"
 #include "common/timer.h"
 #include "core/query_planner.h"
 #include "core/sharded_vos_sketch.h"
@@ -124,7 +136,9 @@ int main(int argc, char** argv) {
       "[--users=N] [--edges_per_user=N] [--k=N] [--m=N] [--threads=N] "
       "[--tau=J] [--repeats=N] [--seed=N] [--dist=zipf|uniform] "
       "[--planner_threads=N] [--planner_shards=N] [--tile_rows=N] "
-      "[--banding_bands=N] [--banding_rows=N] [--csv=path] [--json=path]");
+      "[--banding_bands=N] [--banding_rows=N] "
+      "[--dispatch=auto|scalar|neon|avx2|avx512] [--csv=path] "
+      "[--json=path]");
   const auto users = static_cast<UserId>(flags.GetInt("users", 2000));
   const auto edges_per_user =
       static_cast<size_t>(flags.GetInt("edges_per_user", 200));
@@ -145,8 +159,25 @@ int main(int argc, char** argv) {
   config.m = static_cast<uint64_t>(flags.GetInt("m", int64_t{1} << 23));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
+  // --dispatch forces a kernel level for the whole run; the default keeps
+  // the CPUID probe's pick. Rows carry the tag in the "kernel" column —
+  // "auto" for probe-picked runs so row keys stay machine-independent.
+  const std::string dispatch = flags.GetString("dispatch", "auto");
+  std::string kernel_tag = "auto";
+  if (dispatch != "auto") {
+    kernels::DispatchLevel forced;
+    VOS_CHECK(kernels::ParseDispatchLevel(dispatch.c_str(), &forced))
+        << "--dispatch must be auto|scalar|neon|avx2|avx512, got" << dispatch;
+    VOS_CHECK(kernels::SetDispatchLevel(forced))
+        << "dispatch level" << dispatch
+        << "is not available on this build/CPU";
+    kernel_tag = kernels::LevelName(forced);
+  }
+
   PrintBanner("micro_query_path — scalar seed path vs. batch query engine",
               flags);
+  std::printf("kernel dispatch: %s (requested %s)\n",
+              kernels::Active().name, dispatch.c_str());
 
   const std::vector<Element> elements =
       BuildElements(users, edges_per_user, dist == "zipf");
@@ -160,19 +191,22 @@ int main(int argc, char** argv) {
               config.k, static_cast<unsigned long long>(config.m),
               sketch.beta(), users, num_pairs, tau);
 
-  TablePrinter table({"phase", "engine", "threads", "seconds", "throughput",
-                      "unit", "speedup", "recall"});
+  TablePrinter table({"phase", "engine", "kernel", "threads", "seconds",
+                      "throughput", "unit", "speedup", "recall"});
   std::vector<std::vector<std::string>> rows;
   // `recall` is 1.0 by definition for every exact path; the banding phase
-  // overrides it with the measured banded-vs-exact fraction.
-  auto emit_with_recall = [&](const std::string& phase,
-                              const std::string& engine, unsigned nthreads,
-                              double seconds, double throughput,
-                              const std::string& unit, double speedup,
-                              double recall) {
+  // overrides it with the measured banded-vs-exact fraction. The kernel_*
+  // phases stamp each row with the forced dispatch level; every other row
+  // carries the run-wide tag.
+  auto emit_row = [&](const std::string& phase, const std::string& engine,
+                      const std::string& kernel, unsigned nthreads,
+                      double seconds, double throughput,
+                      const std::string& unit, double speedup,
+                      double recall) {
     std::vector<std::string> row = {
         phase,
         engine,
+        kernel,
         TablePrinter::FormatInt(nthreads),
         TablePrinter::FormatDouble(seconds, 4),
         TablePrinter::FormatDouble(throughput, 4),
@@ -181,6 +215,14 @@ int main(int argc, char** argv) {
         TablePrinter::FormatDouble(recall, 4)};
     table.AddRow(row);
     rows.push_back(std::move(row));
+  };
+  auto emit_with_recall = [&](const std::string& phase,
+                              const std::string& engine, unsigned nthreads,
+                              double seconds, double throughput,
+                              const std::string& unit, double speedup,
+                              double recall) {
+    emit_row(phase, engine, kernel_tag, nthreads, seconds, throughput, unit,
+             speedup, recall);
   };
   auto emit = [&](const std::string& phase, const std::string& engine,
                   unsigned nthreads, double seconds, double throughput,
@@ -206,6 +248,97 @@ int main(int argc, char** argv) {
     emit("extract", "batch", t, batch_extract, users / batch_extract,
          "users/s", scalar_extract / batch_extract);
     if (threads == 1) break;
+  }
+
+  // ---------------------------------------------------------- kernel tier
+  // One row per dispatch level for the two kernels the query path spends
+  // its time in: the 1×8 blocked XOR+popcount (the tiled pair scan's
+  // inner loop) and batched digest extraction (DigestMatrix::Build).
+  // Reference outputs come from the scalar table; every level must match
+  // them bit-for-bit before its timing counts, and speedup divides by the
+  // scalar level's time — the measured value of runtime dispatch on this
+  // host.
+  {
+    const kernels::DispatchLevel restore_level = kernels::ActiveLevel();
+    VOS_CHECK(kernels::SetDispatchLevel(kernels::DispatchLevel::kScalar));
+    const DigestMatrix matrix = DigestMatrix::Build(sketch, candidates, 1);
+    const size_t words = matrix.words_per_row();
+    const size_t mrows = matrix.rows();
+    VOS_CHECK(mrows > 8) << "kernel phase needs more than 8 candidate rows";
+    const size_t ham_pairs = (mrows - 8) * 8;
+    // Scale sweeps so even the widest level runs long enough to time.
+    const size_t sweeps = std::max<size_t>(
+        1, 8'000'000 / std::max<size_t>(1, ham_pairs * words));
+
+    const kernels::KernelTable& scalar_table =
+        *kernels::TableFor(kernels::DispatchLevel::kScalar);
+    std::vector<size_t> ham_ref(ham_pairs);
+    for (size_t r = 0; r + 8 < mrows; ++r) {
+      scalar_table.xor_popcount8(matrix.Row(r), matrix.Row(r + 1), words,
+                                 words, &ham_ref[r * 8]);
+    }
+
+    double ham_scalar_seconds = 0.0;
+    double extract_scalar_seconds = 0.0;
+    size_t levels_verified = 0;
+    for (const kernels::DispatchLevel level : kernels::AvailableLevels()) {
+      VOS_CHECK(kernels::SetDispatchLevel(level));
+      const kernels::KernelTable& kernel = kernels::Active();
+
+      // Hamming: bit-identity against the scalar reference, then timing.
+      std::vector<size_t> ham_out(ham_pairs);
+      for (size_t r = 0; r + 8 < mrows; ++r) {
+        kernel.xor_popcount8(matrix.Row(r), matrix.Row(r + 1), words, words,
+                             &ham_out[r * 8]);
+      }
+      VOS_CHECK(ham_out == ham_ref)
+          << kernel.name << " Hamming kernel diverges from scalar";
+      size_t sink = 0;
+      const double ham_seconds = BestSeconds(repeats, [&] {
+        size_t block[8];
+        for (size_t s = 0; s < sweeps; ++s) {
+          for (size_t r = 0; r + 8 < mrows; ++r) {
+            kernel.xor_popcount8(matrix.Row(r), matrix.Row(r + 1), words,
+                                 words, block);
+            sink += block[0] + block[7];
+          }
+        }
+      });
+      VOS_CHECK(sink != static_cast<size_t>(-1));  // keep results observable
+      if (level == kernels::DispatchLevel::kScalar) {
+        ham_scalar_seconds = ham_seconds;
+      }
+      emit_row("kernel_hamming", "xor_popcount8", kernel.name, 1, ham_seconds,
+               static_cast<double>(ham_pairs * sweeps) / ham_seconds,
+               "pairs/s", ham_scalar_seconds / ham_seconds, 1.0);
+
+      // Extraction: DigestMatrix::Build routes through extract_bits; the
+      // whole matrix must equal the scalar-built one word-for-word.
+      const DigestMatrix level_matrix =
+          DigestMatrix::Build(sketch, candidates, 1);
+      VOS_CHECK(level_matrix.rows() == mrows &&
+                level_matrix.words_per_row() == words);
+      for (size_t r = 0; r < mrows; ++r) {
+        VOS_CHECK(std::memcmp(level_matrix.Row(r), matrix.Row(r),
+                              words * sizeof(uint64_t)) == 0)
+            << kernel.name << " extraction diverges from scalar at row " << r;
+      }
+      const double extract_seconds = BestSeconds(repeats, [&] {
+        const DigestMatrix built = DigestMatrix::Build(sketch, candidates, 1);
+        (void)built;
+      });
+      if (level == kernels::DispatchLevel::kScalar) {
+        extract_scalar_seconds = extract_seconds;
+      }
+      emit_row("kernel_extract", "extract_bits", kernel.name, 1,
+               extract_seconds, users / extract_seconds, "users/s",
+               extract_scalar_seconds / extract_seconds, 1.0);
+      ++levels_verified;
+    }
+    VOS_CHECK(kernels::SetDispatchLevel(restore_level));
+    std::printf("\nkernel tier: %zu dispatch level(s) verified bit-identical "
+                "to scalar before timing.\n",
+                levels_verified);
   }
 
   // ----------------------------------------------------------- all-pairs
@@ -464,8 +597,8 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<std::string> header = {
-      "phase", "engine", "threads", "seconds", "throughput", "unit",
-      "speedup", "recall"};
+      "phase",      "engine", "kernel",  "threads", "seconds",
+      "throughput", "unit",   "speedup", "recall"};
   EmitTable(flags, table, header, rows);
   MaybeEmitJson(flags, "micro_query_path", header, rows);
   std::printf("\n%zu pairs above tau=%.2f; batch results verified "

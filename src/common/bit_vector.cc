@@ -1,17 +1,13 @@
 #include "common/bit_vector.h"
 
-#include <bit>
+#include "common/popcount.h"
 
 namespace vos {
 
 size_t BitVector::HammingDistance(const BitVector& other) const {
   VOS_CHECK(num_bits_ == other.num_bits_)
       << "size mismatch:" << num_bits_ << "vs" << other.num_bits_;
-  size_t distance = 0;
-  for (size_t w = 0; w < words_.size(); ++w) {
-    distance += std::popcount(words_[w] ^ other.words_[w]);
-  }
-  return distance;
+  return XorPopcount(words_.data(), other.words_.data(), words_.size());
 }
 
 BitVector BitVector::FromWords(size_t num_bits,
@@ -27,20 +23,17 @@ BitVector BitVector::FromWords(size_t num_bits,
   BitVector out;
   out.num_bits_ = num_bits;
   out.words_ = std::move(words);
-  out.ones_ = 0;
-  for (uint64_t w : out.words_) out.ones_ += std::popcount(w);
+  out.ones_ = PopcountWords(out.words_.data(), out.words_.size());
   return out;
 }
 
 void BitVector::XorWith(const BitVector& other) {
   VOS_CHECK(num_bits_ == other.num_bits_)
       << "size mismatch:" << num_bits_ << "vs" << other.num_bits_;
-  size_t new_ones = 0;
   for (size_t w = 0; w < words_.size(); ++w) {
     words_[w] ^= other.words_[w];
-    new_ones += std::popcount(words_[w]);
   }
-  ones_ = new_ones;
+  ones_ = PopcountWords(words_.data(), words_.size());
 }
 
 }  // namespace vos

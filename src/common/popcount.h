@@ -1,4 +1,4 @@
-// Word-wise XOR+popcount kernels over raw uint64_t spans.
+// Word-wise XOR+popcount entry points over raw uint64_t spans.
 //
 // These back the batch query engine (core/digest_matrix.h +
 // core/similarity_index.h): a pair estimate reduces to the Hamming distance
@@ -8,119 +8,53 @@
 // raw rows of one contiguous matrix so the all-pairs loop streams memory
 // linearly.
 //
-// The loops are 4-way unrolled with independent accumulators so hardware
-// popcnt dual-issues instead of serializing on one add chain; under
-// -march=native (the VOS_NATIVE_ARCH build option) GCC further
-// auto-vectorizes them with the AVX2 nibble-LUT popcount. Measured on the
-// dev box this shape beats a hand-written AVX2 Muła kernel (~23 vs ~32
-// ns per 6400-bit pair), so the portable code *is* the fast path.
+// Since the kernel tier landed these are thin dispatch wrappers: the
+// arithmetic lives in common/kernels.cc (scalar reference, 4-way unrolled
+// with independent accumulators) with AVX2 Harley–Seal / AVX-512
+// VPOPCNTDQ / NEON vcnt implementations selected per-CPU at runtime —
+// one relaxed atomic load and an indirect call, amortized over the row
+// (or eight rows) each call processes. Every level is bit-identical to
+// scalar (tests/kernel_dispatch_test.cc), so callers never see dispatch.
 
 #pragma once
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
+
+#include "common/kernels.h"
 
 namespace vos {
 
 /// Number of set bits in (a[i] XOR b[i]) over i in [0, n) — the Hamming
 /// distance between two n-word rows.
 inline size_t XorPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
-  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    c0 += static_cast<size_t>(std::popcount(a[i] ^ b[i]));
-    c1 += static_cast<size_t>(std::popcount(a[i + 1] ^ b[i + 1]));
-    c2 += static_cast<size_t>(std::popcount(a[i + 2] ^ b[i + 2]));
-    c3 += static_cast<size_t>(std::popcount(a[i + 3] ^ b[i + 3]));
-  }
-  for (; i < n; ++i) {
-    c0 += static_cast<size_t>(std::popcount(a[i] ^ b[i]));
-  }
-  return c0 + c1 + c2 + c3;
+  return kernels::Active().xor_popcount(a, b, n);
 }
 
 /// 1×8 register-blocked micro-kernel over eight consecutive rows of a
 /// row-major matrix: out[t] = popcount(a XOR (b_base + t·stride)) over n
 /// words. Sharing the a-loads across eight partners amortizes load
-/// traffic (measured ~1.35× over the pairwise kernel at all-pairs row
-/// lengths); callers hand the matrix base of the first partner row and
+/// traffic; callers hand the matrix base of the first partner row and
 /// the row stride in words.
 inline void XorPopcount8(const uint64_t* a, const uint64_t* b_base,
                          size_t stride, size_t n, size_t out[8]) {
-  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
-  size_t c4 = 0, c5 = 0, c6 = 0, c7 = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t a_word = a[i];
-    c0 += static_cast<size_t>(std::popcount(a_word ^ b_base[i]));
-    c1 += static_cast<size_t>(std::popcount(a_word ^ b_base[stride + i]));
-    c2 += static_cast<size_t>(std::popcount(a_word ^ b_base[2 * stride + i]));
-    c3 += static_cast<size_t>(std::popcount(a_word ^ b_base[3 * stride + i]));
-    c4 += static_cast<size_t>(std::popcount(a_word ^ b_base[4 * stride + i]));
-    c5 += static_cast<size_t>(std::popcount(a_word ^ b_base[5 * stride + i]));
-    c6 += static_cast<size_t>(std::popcount(a_word ^ b_base[6 * stride + i]));
-    c7 += static_cast<size_t>(std::popcount(a_word ^ b_base[7 * stride + i]));
-  }
-  out[0] = c0;
-  out[1] = c1;
-  out[2] = c2;
-  out[3] = c3;
-  out[4] = c4;
-  out[5] = c5;
-  out[6] = c6;
-  out[7] = c7;
+  kernels::Active().xor_popcount8(a, b_base, stride, n, out);
 }
 
 /// 2×4 micro-kernel: Hamming distances of two rows against four
 /// consecutive rows of a row-major matrix. out[t] = popcount(a0 XOR
 /// (b_base + t·stride)); out[4 + t] = the same against a1. The extra
 /// register reuse (each b-load feeds two pairs) makes this the fastest
-/// all-pairs shape measured (~1.15× over the 1×8 kernel).
+/// all-pairs shape measured.
 inline void XorPopcount2x4(const uint64_t* a0, const uint64_t* a1,
                            const uint64_t* b_base, size_t stride, size_t n,
                            size_t out[8]) {
-  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
-  size_t c4 = 0, c5 = 0, c6 = 0, c7 = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t a0_word = a0[i];
-    const uint64_t a1_word = a1[i];
-    const uint64_t b0_word = b_base[i];
-    const uint64_t b1_word = b_base[stride + i];
-    const uint64_t b2_word = b_base[2 * stride + i];
-    const uint64_t b3_word = b_base[3 * stride + i];
-    c0 += static_cast<size_t>(std::popcount(a0_word ^ b0_word));
-    c1 += static_cast<size_t>(std::popcount(a0_word ^ b1_word));
-    c2 += static_cast<size_t>(std::popcount(a0_word ^ b2_word));
-    c3 += static_cast<size_t>(std::popcount(a0_word ^ b3_word));
-    c4 += static_cast<size_t>(std::popcount(a1_word ^ b0_word));
-    c5 += static_cast<size_t>(std::popcount(a1_word ^ b1_word));
-    c6 += static_cast<size_t>(std::popcount(a1_word ^ b2_word));
-    c7 += static_cast<size_t>(std::popcount(a1_word ^ b3_word));
-  }
-  out[0] = c0;
-  out[1] = c1;
-  out[2] = c2;
-  out[3] = c3;
-  out[4] = c4;
-  out[5] = c5;
-  out[6] = c6;
-  out[7] = c7;
+  kernels::Active().xor_popcount2x4(a0, a1, b_base, stride, n, out);
 }
 
 /// Number of set bits in a[i] over i in [0, n).
 inline size_t PopcountWords(const uint64_t* a, size_t n) {
-  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    c0 += static_cast<size_t>(std::popcount(a[i]));
-    c1 += static_cast<size_t>(std::popcount(a[i + 1]));
-    c2 += static_cast<size_t>(std::popcount(a[i + 2]));
-    c3 += static_cast<size_t>(std::popcount(a[i + 3]));
-  }
-  for (; i < n; ++i) {
-    c0 += static_cast<size_t>(std::popcount(a[i]));
-  }
-  return c0 + c1 + c2 + c3;
+  return kernels::Active().popcount_words(a, n);
 }
 
 }  // namespace vos

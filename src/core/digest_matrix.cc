@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/kernels.h"
+
 namespace vos::core {
 
 unsigned ResolveThreadCount(unsigned requested, size_t work_items) {
@@ -25,17 +27,11 @@ void DigestMatrix::ExtractRowFromArray(const BitVector& array,
   const uint32_t k = sketch.config().k;
   VOS_DCHECK(cells == nullptr || m <= uint64_t{0xffffffff})
       << "cell capture stores cells as uint32; m too large";
-  uint64_t word = 0;
-  for (uint32_t j = 0; j < k; ++j) {
-    const uint64_t cell = hash::ReduceToRange(hash::Hash64(user, seeds[j]), m);
-    if (cells != nullptr) cells[j] = static_cast<uint32_t>(cell);
-    word |= static_cast<uint64_t>(array.Get(cell)) << (j & 63);
-    if ((j & 63) == 63) {
-      *dst++ = word;
-      word = 0;
-    }
-  }
-  if ((k & 63) != 0) *dst = word;
+  // The per-j hash/gather/pack loop is the extraction kernel —
+  // runtime-dispatched (4- or 8-lane hashing on AVX2/AVX-512),
+  // bit-identical to scalar at every level.
+  kernels::Active().extract_bits(array.words().data(), seeds.data(), k, user,
+                                 m, dst, cells);
 }
 
 void DigestMatrix::ExtractRow(const VosSketch& sketch, UserId user,
@@ -46,15 +42,8 @@ void DigestMatrix::ExtractRow(const VosSketch& sketch, UserId user,
 void DigestMatrix::ExtractRowFromCells(const BitVector& array,
                                        const uint32_t* cells, uint32_t k,
                                        uint64_t* dst) {
-  uint64_t word = 0;
-  for (uint32_t j = 0; j < k; ++j) {
-    word |= static_cast<uint64_t>(array.Get(cells[j])) << (j & 63);
-    if ((j & 63) == 63) {
-      *dst++ = word;
-      word = 0;
-    }
-  }
-  if ((k & 63) != 0) *dst = word;
+  kernels::Active().extract_bits_from_cells(array.words().data(), cells, k,
+                                            dst);
 }
 
 /// Shared thread-parallel fill over disjoint row ranges.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/kernels.h"
 #include "common/logging.h"
 #include "common/popcount.h"
 
@@ -10,17 +11,6 @@ namespace vos::core::pair_scan {
 namespace {
 
 using scan::Pair;
-
-/// Bits [bit_begin, bit_begin + nbits) of a packed row, nbits ∈ [1, 64].
-/// bit_begin + nbits ≤ k ≤ words·64, so the second word read below is
-/// always in range when the slice spans a word boundary.
-uint64_t BandKey(const uint64_t* row, uint32_t bit_begin, uint32_t nbits) {
-  const uint32_t w = bit_begin >> 6;
-  const uint32_t off = bit_begin & 63;
-  uint64_t v = row[w] >> off;
-  if (off + nbits > 64) v |= row[w + 1] << (64 - off);
-  return nbits == 64 ? v : (v & ((uint64_t{1} << nbits) - 1));
-}
 
 void UnpackSortedUnique(std::vector<uint64_t>* packed,
                         std::vector<std::pair<uint32_t, uint32_t>>* out) {
@@ -297,14 +287,23 @@ BandingTable::BandingTable(const DigestMatrix& matrix, uint32_t bands,
   bands_ = std::min(bands, matrix.k() / rows_per_band);
   if (bands_ == 0 || rows_ == 0) return;
   entries_.resize(static_cast<size_t>(bands_) * rows_);
+  // Rows-outer: one band_keys kernel call derives all of a row's keys
+  // (vectorized multi-band gather over the packed bits; bands_ ·
+  // rows_per_band_ ≤ k ≤ words·64 by the clamp above, which is the
+  // kernel's bounds contract), scattered into the per-band segments.
+  const kernels::KernelTable& kernel = kernels::Active();
+  std::vector<uint64_t> keys(bands_);
+  for (size_t r = 0; r < rows_; ++r) {
+    kernel.band_keys(matrix.Row(r), matrix.words_per_row(), bands_,
+                     rows_per_band_, keys.data());
+    for (uint32_t b = 0; b < bands_; ++b) {
+      entries_[static_cast<size_t>(b) * rows_ + r] = {
+          keys[b], static_cast<uint32_t>(r)};
+    }
+  }
   for (uint32_t b = 0; b < bands_; ++b) {
     std::pair<uint64_t, uint32_t>* seg =
         entries_.data() + static_cast<size_t>(b) * rows_;
-    const uint32_t bit_begin = b * rows_per_band_;
-    for (size_t r = 0; r < rows_; ++r) {
-      seg[r] = {BandKey(matrix.Row(r), bit_begin, rows_per_band_),
-                static_cast<uint32_t>(r)};
-    }
     std::sort(seg, seg + rows_);
   }
 }

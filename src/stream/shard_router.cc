@@ -1,11 +1,36 @@
 #include "stream/shard_router.h"
 
+#include <algorithm>
+
+#include "common/kernels.h"
+
 namespace vos::stream {
+namespace {
+
+/// Chunk size for the SoA staging buffers below: big enough to amortize
+/// the kernel dispatch and fill the SIMD lanes, small enough to stay on
+/// the stack and L1-resident.
+constexpr size_t kRouteChunk = 256;
+
+/// seed → the pre-mixed constant ShardOf folds into every user hash.
+constexpr uint64_t RouteSeedMix(uint64_t seed) {
+  return seed * 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace
 
 void ShardRouter::Tag(const Element* elements, size_t count,
                       uint16_t* tags) const {
-  for (size_t i = 0; i < count; ++i) {
-    tags[i] = static_cast<uint16_t>(ShardOf(elements[i].user));
+  // Stage users out of the AoS elements so the routing kernel sees a
+  // dense lane-loadable array; shard tags land directly in `tags`.
+  const uint64_t seed_mix = RouteSeedMix(seed_);
+  const kernels::KernelTable& kernel = kernels::Active();
+  uint32_t users[kRouteChunk];
+  for (size_t base = 0; base < count; base += kRouteChunk) {
+    const size_t len = std::min(kRouteChunk, count - base);
+    for (size_t i = 0; i < len; ++i) users[i] = elements[base + i].user;
+    kernel.route_batch(users, len, seed_mix, num_shards_, nullptr, tags + base,
+                       nullptr);
   }
 }
 
@@ -20,8 +45,18 @@ void ShardRouter::Partition(const Element* elements, size_t count,
   for (auto& bucket : *per_shard) {
     bucket.reserve(bucket.size() + expected);
   }
-  for (size_t i = 0; i < count; ++i) {
-    (*per_shard)[ShardOf(elements[i].user)].push_back(elements[i]);
+  const uint64_t seed_mix = RouteSeedMix(seed_);
+  const kernels::KernelTable& kernel = kernels::Active();
+  uint32_t users[kRouteChunk];
+  uint16_t shards[kRouteChunk];
+  for (size_t base = 0; base < count; base += kRouteChunk) {
+    const size_t len = std::min(kRouteChunk, count - base);
+    for (size_t i = 0; i < len; ++i) users[i] = elements[base + i].user;
+    kernel.route_batch(users, len, seed_mix, num_shards_, nullptr, shards,
+                       nullptr);
+    for (size_t i = 0; i < len; ++i) {
+      (*per_shard)[shards[i]].push_back(elements[base + i]);
+    }
   }
 }
 
@@ -41,16 +76,26 @@ DenseShardMap::DenseShardMap(const ShardRouter& router, UserId num_users)
 
 void DenseShardMap::Route(Element* elements, size_t count,
                           uint16_t* tags) const {
-  for (size_t i = 0; i < count; ++i) {
-    const UserId user = elements[i].user;
-    // Always-on: a release build reading local_of_[user] out of bounds
-    // would route the element to a garbage (shard, local id) — fail
-    // loudly instead.
-    VOS_CHECK(user < local_of_.size())
-        << "user" << user << "out of range (num_users "
-        << local_of_.size() << ")";
-    tags[i] = static_cast<uint16_t>(router_.ShardOf(user));
-    elements[i].user = local_of_[user];
+  const uint64_t seed_mix = RouteSeedMix(router_.seed());
+  const kernels::KernelTable& kernel = kernels::Active();
+  uint32_t users[kRouteChunk];
+  uint32_t locals[kRouteChunk];
+  for (size_t base = 0; base < count; base += kRouteChunk) {
+    const size_t len = std::min(kRouteChunk, count - base);
+    for (size_t i = 0; i < len; ++i) {
+      const UserId user = elements[base + i].user;
+      // Always-on, and necessarily BEFORE the kernel call: the kernel
+      // gathers local_of_[user] unchecked, and a release build reading
+      // it out of bounds would route the element to a garbage
+      // (shard, local id) — fail loudly instead.
+      VOS_CHECK(user < local_of_.size())
+          << "user" << user << "out of range (num_users "
+          << local_of_.size() << ")";
+      users[i] = user;
+    }
+    kernel.route_batch(users, len, seed_mix, router_.num_shards(),
+                       local_of_.data(), tags + base, locals);
+    for (size_t i = 0; i < len; ++i) elements[base + i].user = locals[i];
   }
 }
 
@@ -65,14 +110,28 @@ void DenseShardMap::Partition(const Element* elements, size_t count,
   for (auto& bucket : *per_shard) {
     bucket.reserve(bucket.size() + expected);
   }
-  for (size_t i = 0; i < count; ++i) {
-    Element local = elements[i];
-    VOS_CHECK(local.user < local_of_.size())
-        << "user" << local.user << "out of range (num_users "
-        << local_of_.size() << ")";
-    const uint32_t shard = router_.ShardOf(local.user);
-    local.user = local_of_[local.user];
-    (*per_shard)[shard].push_back(local);
+  const uint64_t seed_mix = RouteSeedMix(router_.seed());
+  const kernels::KernelTable& kernel = kernels::Active();
+  uint32_t users[kRouteChunk];
+  uint16_t shard_buf[kRouteChunk];
+  uint32_t locals[kRouteChunk];
+  for (size_t base = 0; base < count; base += kRouteChunk) {
+    const size_t len = std::min(kRouteChunk, count - base);
+    for (size_t i = 0; i < len; ++i) {
+      const UserId user = elements[base + i].user;
+      // Same out-of-range abort as Route, before the unchecked gather.
+      VOS_CHECK(user < local_of_.size())
+          << "user" << user << "out of range (num_users "
+          << local_of_.size() << ")";
+      users[i] = user;
+    }
+    kernel.route_batch(users, len, seed_mix, shards, local_of_.data(),
+                       shard_buf, locals);
+    for (size_t i = 0; i < len; ++i) {
+      Element local = elements[base + i];
+      local.user = locals[i];
+      (*per_shard)[shard_buf[i]].push_back(local);
+    }
   }
 }
 
