@@ -54,6 +54,7 @@
 
 #include "bench/bench_util.h"
 #include "common/kernels.h"
+#include "common/numa.h"
 #include "common/timer.h"
 #include "stream/shard_router.h"
 #include "core/sharded_vos_sketch.h"
@@ -154,7 +155,8 @@ int main(int argc, char** argv) {
       argc, argv,
       "[--users=N] [--edges_per_user=N] [--k=N] [--m=N] [--shards=N] "
       "[--producers=N] [--batch=N] [--candidates=N] [--repeats=N] "
-      "[--seed=N] [--dispatch=auto|scalar|neon|avx2|avx512] [--csv=path] "
+      "[--seed=N] [--pin_threads=0|1] "
+      "[--dispatch=auto|scalar|neon|avx2|avx512] [--csv=path] "
       "[--json=path]");
   const auto users = static_cast<UserId>(flags.GetInt("users", 100000));
   const auto edges_per_user =
@@ -167,6 +169,12 @@ int main(int argc, char** argv) {
   const auto num_candidates =
       static_cast<size_t>(flags.GetInt("candidates", 1000));
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  // NUMA pinning of the shard workers: VOS_PIN / multi-node autodetect
+  // unless forced. An identity column, not a metric — pinned and unpinned
+  // rows never compare against each other.
+  const bool pin_threads =
+      flags.GetInt("pin_threads", numa::DefaultPinThreads() ? 1 : 0) != 0;
+  const std::string pinned_tag = pin_threads ? "1" : "0";
 
   VosConfig config;
   config.k = static_cast<uint32_t>(flags.GetInt("k", 6400));
@@ -193,6 +201,8 @@ int main(int argc, char** argv) {
   std::printf("kernel dispatch: %s (requested %s)\n",
               kernels::Active().name, dispatch.c_str());
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("NUMA: %zu node(s); worker pinning %s\n",
+              numa::Detect().num_nodes(), pin_threads ? "ON" : "off");
   std::printf("hardware threads: %u%s\n", hw,
               hw < max_shards
                   ? "  (fewer than --shards: async scaling will be flat "
@@ -208,36 +218,41 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(config.m));
 
   const std::vector<std::string> header = {
-      "phase",   "engine",  "kernel",     "shards", "producers",
-      "threads", "seconds", "throughput", "unit",   "speedup"};
+      "phase",   "engine", "kernel",     "shards", "producers", "threads",
+      "pinned",  "seconds", "throughput", "unit",  "speedup",   "efficiency"};
   TablePrinter table(header);
   std::vector<std::vector<std::string>> rows;
   // The routing phase stamps rows with the dispatch level it forces;
-  // every other row carries the run-wide tag.
+  // every other row carries the run-wide tag. `efficiency` is numeric
+  // only on the producer-scaling rows (throughput(P) / (P·throughput(1)),
+  // per-lane efficiency); everywhere else it is the empty string, which
+  // MaybeEmitJson emits as a non-numeric "" that bench_compare.py skips.
   auto emit_row = [&](const std::string& phase, const std::string& engine,
                       const std::string& kernel, uint32_t shards,
                       unsigned producers, unsigned threads, double seconds,
                       double throughput, const std::string& unit,
-                      double speedup) {
+                      double speedup, const std::string& efficiency) {
     std::vector<std::string> row = {phase,
                                     engine,
                                     kernel,
                                     TablePrinter::FormatInt(shards),
                                     TablePrinter::FormatInt(producers),
                                     TablePrinter::FormatInt(threads),
+                                    pinned_tag,
                                     TablePrinter::FormatDouble(seconds, 4),
                                     TablePrinter::FormatDouble(throughput, 4),
                                     unit,
-                                    TablePrinter::FormatDouble(speedup, 3)};
+                                    TablePrinter::FormatDouble(speedup, 3),
+                                    efficiency};
     table.AddRow(row);
     rows.push_back(std::move(row));
   };
   auto emit = [&](const std::string& phase, const std::string& engine,
                   uint32_t shards, unsigned producers, unsigned threads,
                   double seconds, double throughput, const std::string& unit,
-                  double speedup) {
+                  double speedup, const std::string& efficiency = "") {
     emit_row(phase, engine, kernel_tag, shards, producers, threads, seconds,
-             throughput, unit, speedup);
+             throughput, unit, speedup, efficiency);
   };
 
   // -------------------------------------------------------------- ingest
@@ -275,6 +290,7 @@ int main(int argc, char** argv) {
 
     // Concurrent pipeline: one worker per shard, tagged shared batches.
     sharded.ingest_threads = shards;
+    sharded.pin_numa_workers = pin_threads;
     double async_seconds = 0.0;
     for (int r = 0; r < repeats; ++r) {
       ShardedVosSketch sketch(sharded, users);
@@ -319,6 +335,7 @@ int main(int argc, char** argv) {
     sharded.batch_size = batch;
     sharded.ingest_threads = max_shards;
     sharded.ingest_producers = producers;
+    sharded.pin_numa_workers = pin_threads;
 
     // Reference: synchronous routing of the same per-producer streams
     // (the state every timed repeat must land on bit-for-bit).
@@ -356,9 +373,17 @@ int main(int argc, char** argv) {
     if (producers == 1) async_1producer_seconds = mp_seconds;
     async_max_producers_seconds = mp_seconds;
     producers_measured = producers;
+    // Per-lane efficiency: throughput(P) / (P * throughput(1)). Equal
+    // seconds-per-stream means throughput(P) = P * throughput(1) and the
+    // column reads 1.0; lanes serializing on each other drag it toward
+    // 1/P. bench_compare.py flags drops in this column even when absolute
+    // throughput noise hides the collapse.
+    const double efficiency =
+        async_1producer_seconds / (producers * mp_seconds);
     emit("ingest", "sharded-async-p", max_shards, producers,
          max_shards + producers, mp_seconds, num_updates / mp_seconds,
-         "updates/s", serial_seconds / mp_seconds);
+         "updates/s", serial_seconds / mp_seconds,
+         TablePrinter::FormatDouble(efficiency, 4));
   }
 
   // ------------------------------------------------------------- routing
@@ -396,7 +421,7 @@ int main(int argc, char** argv) {
                route_seconds,
                static_cast<double>(elements.size() * route_sweeps) /
                    route_seconds,
-               "routes/s", route_scalar_seconds / route_seconds);
+               "routes/s", route_scalar_seconds / route_seconds, "");
       ++levels_verified;
     }
     VOS_CHECK(kernels::SetDispatchLevel(restore_level));
@@ -414,6 +439,7 @@ int main(int argc, char** argv) {
     sharded.num_shards = max_shards;
     sharded.batch_size = batch;
     sharded.ingest_threads = max_shards;
+    sharded.pin_numa_workers = pin_threads;
     ShardedVosSketch full_state(sharded, users);
     for (size_t t = 0; t < elements.size(); t += batch) {
       full_state.UpdateBatch(elements.data() + t,

@@ -1,0 +1,126 @@
+#include "common/numa.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace vos::numa {
+namespace {
+
+/// Every hardware thread on one synthetic node — the portable fallback.
+Topology SingleNodeFallback() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  Topology topo;
+  topo.node_cpus.emplace_back();
+  topo.node_cpus[0].reserve(hw);
+  for (unsigned cpu = 0; cpu < hw; ++cpu) {
+    topo.node_cpus[0].push_back(static_cast<int>(cpu));
+  }
+  return topo;
+}
+
+Topology DetectUncached() {
+#if defined(__linux__)
+  Topology topo;
+  // Nodes are not necessarily contiguous (memory-only nodes, offlined
+  // sockets), so probe ids until a run of misses instead of trusting
+  // node0..nodeN-1.
+  int misses = 0;
+  for (int node = 0; misses < 16; ++node) {
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist";
+    std::ifstream in(path);
+    if (!in.good()) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    std::string line;
+    std::getline(in, line);
+    std::vector<int> cpus = ParseCpuList(line.c_str());
+    // Memory-only nodes have an empty cpulist; they own no workers.
+    if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
+  }
+  if (!topo.node_cpus.empty()) return topo;
+#endif
+  return SingleNodeFallback();
+}
+
+}  // namespace
+
+size_t Topology::num_cpus() const {
+  size_t total = 0;
+  for (const std::vector<int>& cpus : node_cpus) total += cpus.size();
+  return total;
+}
+
+const Topology& Detect() {
+  static const Topology topo = DetectUncached();
+  return topo;
+}
+
+std::vector<int> ParseCpuList(const char* text) {
+  std::vector<int> cpus;
+  if (text == nullptr) return cpus;
+  const char* p = text;
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const long first = std::strtol(p, &end, 10);
+    if (end == p || first < 0) return {};
+    long last = first;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      last = std::strtol(p, &end, 10);
+      if (end == p || last < first) return {};
+      p = end;
+    }
+    for (long cpu = first; cpu <= last; ++cpu) {
+      cpus.push_back(static_cast<int>(cpu));
+    }
+    if (*p == ',') ++p;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+bool PinCurrentThreadToNode(size_t node) {
+#if defined(__linux__)
+  const Topology& topo = Detect();
+  if (topo.node_cpus.empty()) return false;
+  const std::vector<int>& cpus = topo.node_cpus[node % topo.num_nodes()];
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+bool DefaultPinThreads() {
+  if (const char* env = std::getenv("VOS_PIN")) {
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+             std::strcmp(env, "off") == 0 || env[0] == '\0');
+  }
+  return Detect().multi_node();
+}
+
+}  // namespace vos::numa

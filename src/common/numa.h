@@ -1,0 +1,51 @@
+// NUMA topology detection and thread pinning for the ingest fabric.
+//
+// Detection parses /sys/devices/system/node/node*/cpulist (Linux); any
+// failure — non-Linux, sysfs absent, unparsable — degrades to a single
+// synthetic node holding every hardware thread, so callers never branch
+// on "is NUMA available": a single-node Topology simply makes pinning a
+// no-op-shaped round-robin over one node.
+//
+// Pinning itself is best-effort: PinCurrentThreadToNode returns false
+// (and changes nothing) off Linux or when sched_setaffinity is refused
+// (containers commonly mask CPUs). The sharded ingest pipeline treats a
+// false return as "run unpinned", never as an error — affinity is a
+// performance hint, not a correctness requirement.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vos::numa {
+
+/// One entry per NUMA node; node_cpus[n] lists the logical CPU ids the
+/// kernel reports for node n (sorted, non-empty).
+struct Topology {
+  std::vector<std::vector<int>> node_cpus;
+
+  size_t num_nodes() const { return node_cpus.size(); }
+  bool multi_node() const { return node_cpus.size() > 1; }
+  /// Total logical CPUs across all nodes.
+  size_t num_cpus() const;
+};
+
+/// The machine's topology, detected once and cached (thread-safe).
+const Topology& Detect();
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into CPU ids; returns
+/// an empty vector on malformed input. Exposed for tests.
+std::vector<int> ParseCpuList(const char* text);
+
+/// Pins the calling thread to every CPU of `node` (mod num_nodes, so any
+/// worker index is a valid argument). Returns false if the platform
+/// cannot pin or the kernel refused; the thread is left unpinned.
+bool PinCurrentThreadToNode(size_t node);
+
+/// The default for --pin_threads / ShardedVosConfig::pin_numa_workers at
+/// the tool/harness layer: the VOS_PIN environment variable if set
+/// ("0"/"false"/"off" disable, anything else enables), otherwise on only
+/// when the machine actually has more than one node.
+bool DefaultPinThreads();
+
+}  // namespace vos::numa

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/fault_injector.h"
+#include "common/numa.h"
 #include "common/popcount.h"
 #include "core/digest_matrix.h"
 #include "core/vos_io.h"
@@ -17,6 +18,14 @@ namespace {
 /// tags so they are unrelated to ψ's and the base f family's sub-seeds.
 constexpr uint64_t kRouterTag = 0x40a7e0;
 constexpr uint64_t kShardFTag = 0x5a4d00;
+
+/// Producer spin budget on a full ring before parking, and worker spin
+/// budget on empty rings before parking. Each round yields: with fewer
+/// cores than threads the counterpart NEEDS this core to make progress,
+/// and with plenty of cores a yield is still cheaper than a park/unpark
+/// round-trip for the common microsecond-scale stall.
+constexpr int kPushSpinRounds = 64;
+constexpr int kIdleSpinRounds = 64;
 
 /// Construction-time footprint estimate for the memory-budget validation:
 /// shard arrays (word-rounded) plus per-user state (cardinality counter,
@@ -75,7 +84,7 @@ Status ShardedVosSketch::ValidateConfig(const ShardedVosConfig& config,
   if (config.queue_capacity < 1) {
     return Status::InvalidArgument(
         "queue_capacity must be >= 1: a zero-capacity (producer, shard) "
-        "queue can never accept a sub-batch, so the first back-pressured "
+        "ring can never accept a sub-batch, so the first back-pressured "
         "enqueue would deadlock");
   }
   if (config.batch_size < 1) {
@@ -111,22 +120,17 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
       num_users_(num_users),
       estimator_(config.base.k, estimator_options) {
   // Degenerate configs fail here, loudly and with the reason — not by
-  // deadlocking the first enqueue or striping queues nobody drains.
+  // deadlocking the first enqueue or striping rings nobody drains.
   const Status valid = ValidateConfig(config, num_users);
   VOS_CHECK(valid.ok()) << valid.ToString();
-  shards_.reserve(config.num_shards);
   if (config.num_shards > 1) {
     // Dense remap: shard s is sized for exactly the users it owns and
     // addresses them by dense local id (see file comment).
     dense_map_ = stream::DenseShardMap(router_, num_users);
-    for (uint32_t s = 0; s < config.num_shards; ++s) {
-      shards_.emplace_back(ShardConfig(config, s), dense_map_.shard_size(s));
-    }
-  } else {
-    shards_.emplace_back(ShardConfig(config, 0), num_users);
   }
   shard_status_.resize(config.num_shards);
-  accepted_.assign(config.ingest_producers, 0);
+  accepted_ = std::vector<std::atomic<uint64_t>>(config.ingest_producers);
+  dispatched_ = std::vector<std::atomic<uint64_t>>(config.ingest_producers);
   if (config.ingest_threads > 0) {
     const unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
         {config.ingest_threads, config.num_shards, 256}));
@@ -136,24 +140,55 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
       owner_[s] = static_cast<uint8_t>(s % workers);
     }
     pending_.resize(producers_);
-    pending_size_ = std::vector<std::atomic<size_t>>(producers_);
-    // One bounded queue per (producer, shard): producer p publishes shard
-    // s's sub-batches to lanes_[p·S + s] and only its owner drains it, so
-    // no worker ever touches an element it does not apply.
-    lanes_.resize(static_cast<size_t>(producers_) * config.num_shards);
+    // One SPSC ring per (producer, shard): producer p publishes shard
+    // s's sub-batches to lanes_[p·S + s] and only its owner pops it, so
+    // every ring has exactly one writer and one reader.
+    lanes_ = std::make_unique<IngestLane[]>(
+        static_cast<size_t>(producers_) * config.num_shards);
     worker_lanes_.resize(workers);
     for (unsigned p = 0; p < producers_; ++p) {
       for (uint32_t s = 0; s < config.num_shards; ++s) {
         worker_lanes_[owner_[s]].push_back(LaneIndex(p, s));
       }
     }
+    worker_slots_ = std::make_unique<WorkerSlot[]>(workers);
     worker_dead_.assign(workers, 0);
+    // Workers construct their own shards and ring slot arrays
+    // (WorkerInit): first-touch places each shard's pages on its
+    // worker's NUMA node. Construction is deterministic regardless of
+    // which thread runs it, so shard state stays bit-identical to the
+    // synchronous pipeline's.
+    staged_shards_.resize(config.num_shards);
+    init_remaining_.store(workers, std::memory_order_relaxed);
     worker_threads_.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
       worker_threads_.emplace_back(&ShardedVosSketch::WorkerLoop, this, w);
     }
+    {
+      std::unique_lock<std::mutex> lock(init_mu_);
+      init_cv_.wait(lock, [&] {
+        return init_remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    shards_.reserve(config.num_shards);
+    for (uint32_t s = 0; s < config.num_shards; ++s) {
+      shards_.push_back(std::move(*staged_shards_[s]));
+    }
+    staged_shards_.clear();
+    staged_shards_.shrink_to_fit();
+    {
+      std::lock_guard<std::mutex> lock(init_mu_);
+      start_ = true;
+    }
+    init_cv_.notify_all();
   } else {
     producers_ = 1;  // synchronous ingestion is single-threaded by contract
+    shards_.reserve(config.num_shards);
+    for (uint32_t s = 0; s < config.num_shards; ++s) {
+      shards_.emplace_back(ShardConfig(config, s),
+                           config.num_shards > 1 ? dense_map_.shard_size(s)
+                                                 : num_users);
+    }
   }
   static_memory_bits_ = MemoryBits();
 }
@@ -161,12 +196,40 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
 ShardedVosSketch::~ShardedVosSketch() {
   if (!async()) return;
   (void)Flush();  // drains even when degraded; status irrelevant here
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
+  stopping_.store(true, std::memory_order_relaxed);
+  WakeAllWaiters();
   for (std::thread& t : worker_threads_) t.join();
+}
+
+void ShardedVosSketch::WorkerInit(unsigned worker) {
+  if (config_.pin_numa_workers) {
+    // Best-effort: spread workers round-robin over the detected nodes; a
+    // refused affinity call (masked cpuset, non-Linux) just runs
+    // unpinned.
+    (void)numa::PinCurrentThreadToNode(worker);
+  }
+  // First-touch: construct this worker's shards and ring slot arrays on
+  // the thread (and, when pinned, the node) that will consume them.
+  for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+    if (owner_[s] != worker) continue;
+    staged_shards_[s].emplace(ShardConfig(config_, s),
+                              dense_remap() ? dense_map_.shard_size(s)
+                                            : num_users_);
+  }
+  for (size_t l : worker_lanes_[worker]) {
+    lanes_[l].ring.Init(config_.queue_capacity);
+  }
+  if (init_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard<std::mutex> lock(init_mu_);
+    }
+    init_cv_.notify_all();
+  }
+  // The constructor adopts the staged shards into shards_; do not touch
+  // shards_ (or pop — producers cannot push before the constructor
+  // returns anyway) until it says go.
+  std::unique_lock<std::mutex> lock(init_mu_);
+  init_cv_.wait(lock, [&] { return start_; });
 }
 
 void ShardedVosSketch::ApplySyncElement(const stream::Element& e) {
@@ -175,7 +238,7 @@ void ShardedVosSketch::ApplySyncElement(const stream::Element& e) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!shard_status_[s].ok()) {
       // Poisoned shard: reject instead of corrupting partial state.
-      ++dropped_elements_;
+      dropped_elements_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
@@ -189,10 +252,12 @@ void ShardedVosSketch::ApplySyncElement(const stream::Element& e) {
     }
     shards_[s].Update(local);
   } catch (const std::exception& ex) {
-    std::lock_guard<std::mutex> lock(mu_);
-    PoisonShardLocked(
-        s, Status::Internal(ShardTag(s) + " update failed: " + ex.what()));
-    ++dropped_elements_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PoisonShardLocked(
+          s, Status::Internal(ShardTag(s) + " update failed: " + ex.what()));
+    }
+    dropped_elements_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -204,14 +269,17 @@ void ShardedVosSketch::Update(const stream::Element& e, unsigned producer) {
   // multi-lane caller: lane ids are simply applied inline, in order.)
   VOS_CHECK(producer < config_.ingest_producers)
       << "producer" << producer << "of" << config_.ingest_producers;
-  ++accepted_[producer];
+  // Single-writer counter: a plain load+store compiles to one increment,
+  // where a fetch_add would put an atomic RMW on the per-element path.
+  accepted_[producer].store(
+      accepted_[producer].load(std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
   if (!async()) {
     ApplySyncElement(e);
     return;
   }
   std::vector<stream::Element>& pending = pending_[producer];
   pending.push_back(e);
-  pending_size_[producer].store(pending.size(), std::memory_order_relaxed);
   if (pending.size() >= config_.batch_size) FlushPendingBuffer(producer);
 }
 
@@ -220,7 +288,9 @@ void ShardedVosSketch::UpdateBatch(const stream::Element* elements,
   if (count == 0) return;
   VOS_CHECK(producer < config_.ingest_producers)
       << "producer" << producer << "of" << config_.ingest_producers;
-  accepted_[producer] += count;
+  accepted_[producer].store(
+      accepted_[producer].load(std::memory_order_relaxed) + count,
+      std::memory_order_relaxed);
   if (!async()) {
     for (size_t i = 0; i < count; ++i) ApplySyncElement(elements[i]);
     return;
@@ -234,6 +304,9 @@ void ShardedVosSketch::UpdateBatch(const stream::Element* elements,
     if (per_shard[s].empty()) continue;
     EnqueueSubBatch(producer, s, std::move(per_shard[s]));
   }
+  dispatched_[producer].store(
+      dispatched_[producer].load(std::memory_order_relaxed) + count,
+      std::memory_order_relaxed);
 }
 
 void ShardedVosSketch::RoutePartition(
@@ -252,139 +325,292 @@ void ShardedVosSketch::RoutePartition(
 void ShardedVosSketch::FlushPendingBuffer(unsigned producer) {
   std::vector<stream::Element>& pending = pending_[producer];
   if (pending.empty()) return;
+  const size_t count = pending.size();
   std::vector<std::vector<stream::Element>> per_shard(router_.num_shards());
-  RoutePartition(pending.data(), pending.size(), &per_shard);
+  RoutePartition(pending.data(), count, &per_shard);
   pending.clear();
-  // The elements re-appear in the lane enqueued counters below; a
-  // cross-thread HasPendingIngest between this store and those enqueues
-  // can transiently answer false, which the header's contract allows (a
-  // false is only a stable "quiesced" once producers have stopped —
-  // this producer is mid-call). Calls from this lane's own thread after
-  // the buffer flush always see the enqueued counters.
-  pending_size_[producer].store(0, std::memory_order_relaxed);
   for (uint32_t s = 0; s < router_.num_shards(); ++s) {
     if (per_shard[s].empty()) continue;
     EnqueueSubBatch(producer, s, std::move(per_shard[s]));
   }
+  // The elements have left the lane's buffer (ringed or dropped); until
+  // here HasPendingIngest kept reporting them as buffered — the safe
+  // transient for a poller, since the ring counters take over below.
+  dispatched_[producer].store(
+      dispatched_[producer].load(std::memory_order_relaxed) + count,
+      std::memory_order_relaxed);
 }
 
 void ShardedVosSketch::PoisonShardLocked(uint32_t shard, Status status) {
   if (shard_status_[shard].ok()) shard_status_[shard] = std::move(status);
   degraded_.store(true, std::memory_order_relaxed);
-  if (!lanes_.empty()) {
-    // Discard the shard's backlog on every lane: the data is lost either
-    // way, and leaving it queued would wedge Flush barriers and
-    // back-pressured producers forever.
-    for (unsigned p = 0; p < producers_; ++p) {
-      LaneQueue& lane = lanes_[LaneIndex(p, shard)];
-      for (const std::vector<stream::Element>& batch : lane.batches) {
-        dropped_elements_ += batch.size();
-        queued_bytes_ -= batch.size() * sizeof(stream::Element);
+}
+
+void ShardedVosSketch::WakeAllWaiters() {
+  if (worker_slots_ != nullptr) {
+    for (size_t w = 0; w < worker_threads_.size(); ++w) {
+      {
+        std::lock_guard<std::mutex> lock(worker_slots_[w].mu);
       }
-      lane.completed += lane.batches.size();
-      lane.batches.clear();
+      worker_slots_[w].cv.notify_all();
     }
   }
-  cv_.notify_all();
+  if (lanes_ != nullptr) {
+    const size_t total = static_cast<size_t>(producers_) * router_.num_shards();
+    for (size_t l = 0; l < total; ++l) {
+      {
+        std::lock_guard<std::mutex> lock(lanes_[l].park_mu);
+      }
+      lanes_[l].park_cv.notify_all();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+  }
+  flush_cv_.notify_all();
+}
+
+bool ShardedVosSketch::ShardPoisoned(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !shard_status_[shard].ok();
+}
+
+void ShardedVosSketch::ReclaimDeadLane(unsigned producer, uint32_t shard) {
+  IngestLane& lane = lanes_[LaneIndex(producer, shard)];
+  bool reclaimed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard_status_[shard].ok() || worker_dead_[owner_[shard]] == 0) {
+      // The owner is alive: it discards poisoned backlog on pop itself.
+      return;
+    }
+    // The owner is dead and did its final drain under mu_ before we got
+    // here (or we beat it, in which case its drain will see an empty
+    // ring) — either way exactly one consumer touches the ring at a
+    // time.
+    std::vector<stream::Element> discard;
+    while (lane.ring.TryPop(&discard)) {
+      dropped_elements_.fetch_add(discard.size(), std::memory_order_relaxed);
+      queued_bytes_.fetch_sub(discard.size() * sizeof(stream::Element),
+                              std::memory_order_relaxed);
+      lane.completed.fetch_add(1, std::memory_order_release);
+      reclaimed = true;
+    }
+  }
+  if (reclaimed) WakeAllWaiters();
+}
+
+bool ShardedVosSketch::PushWithBackPressure(
+    IngestLane& lane, uint32_t shard, std::vector<stream::Element>& batch) {
+  // Bounded spin: the common full-ring stall is the worker being
+  // mid-batch for microseconds. Yield each round — with fewer cores than
+  // threads the worker needs this core to make room.
+  for (int spin = 0; spin < kPushSpinRounds; ++spin) {
+    std::this_thread::yield();
+    if (lane.ring.TryPush(batch)) return true;
+    if (degraded_.load(std::memory_order_relaxed) && ShardPoisoned(shard)) {
+      return false;
+    }
+  }
+  // Park on the lane's condvar. Flag → fence → recheck pairs with the
+  // consumer's pop → fence → flag load: either our recheck sees the
+  // room, or the consumer sees the flag and notifies under park_mu.
+  const bool use_deadline = config_.enqueue_timeout_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.enqueue_timeout_ms);
+  lane.producer_parked.store(1, std::memory_order_relaxed);
+  struct ClearFlag {
+    std::atomic<uint32_t>& flag;
+    ~ClearFlag() { flag.store(0, std::memory_order_relaxed); }
+  } clear_on_exit{lane.producer_parked};
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::unique_lock<std::mutex> lock(lane.park_mu);
+  for (;;) {
+    if (lane.ring.TryPush(batch)) return true;
+    if (degraded_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      if (ShardPoisoned(shard)) return false;
+      lock.lock();
+      // Degraded for someone else's sake; re-test the ring, keep waiting.
+      continue;
+    }
+    if (use_deadline) {
+      if (lane.park_cv.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        if (lane.ring.TryPush(batch)) return true;  // room at the wire
+        // The lane is starved: its worker made no room within the
+        // deadline. Poison the shard (sticky) so the failure surfaces
+        // at the next Flush instead of silently losing only this batch.
+        lock.unlock();  // park mutexes are never held while taking mu_
+        {
+          std::lock_guard<std::mutex> cold(mu_);
+          PoisonShardLocked(
+              shard, Status::DeadlineExceeded(
+                         ShardTag(shard) + " enqueue timed out after " +
+                         std::to_string(config_.enqueue_timeout_ms) +
+                         " ms (lane starved)"));
+        }
+        WakeAllWaiters();
+        return false;
+      }
+    } else {
+      lane.park_cv.wait(lock);
+    }
+  }
 }
 
 void ShardedVosSketch::EnqueueSubBatch(unsigned producer, uint32_t shard,
                                        std::vector<stream::Element> batch) {
-  const size_t lane = LaneIndex(producer, shard);
-  const size_t batch_bytes = batch.size() * sizeof(stream::Element);
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!shard_status_[shard].ok()) {
-    // Degraded mode: the shard already failed; reject instead of queueing
-    // work nobody will ever apply.
-    dropped_elements_ += batch.size();
+  IngestLane& lane = lanes_[LaneIndex(producer, shard)];
+  const size_t count = batch.size();
+  const size_t batch_bytes = count * sizeof(stream::Element);
+  // Degraded cold path: reject against a poisoned shard instead of
+  // queueing work nobody will ever apply. One relaxed load when healthy.
+  if (degraded_.load(std::memory_order_relaxed) && ShardPoisoned(shard)) {
+    dropped_elements_.fetch_add(count, std::memory_order_relaxed);
     return;
   }
+  // Charge the backlog before pushing so concurrent lanes cannot
+  // collectively overshoot the ceiling; the charge is released after the
+  // batch is applied, discarded, or rejected right here.
+  const size_t prev =
+      queued_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
   if (config_.memory_budget_bits > 0 &&
-      (static_memory_bits_ / 8 + queued_bytes_ + batch_bytes) * 8 >
+      (static_memory_bits_ / 8 + prev + batch_bytes) * 8 >
           config_.memory_budget_bits) {
-    if (budget_status_.ok()) {
-      budget_status_ = Status::ResourceExhausted(
-          "ingest backlog would exceed memory_budget_bits (" +
-          std::to_string(config_.memory_budget_bits) + "); batch dropped");
+    queued_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (budget_status_.ok()) {
+        budget_status_ = Status::ResourceExhausted(
+            "ingest backlog would exceed memory_budget_bits (" +
+            std::to_string(config_.memory_budget_bits) + "); batch dropped");
+      }
+      degraded_.store(true, std::memory_order_relaxed);
     }
-    degraded_.store(true, std::memory_order_relaxed);
-    dropped_elements_ += batch.size();
+    dropped_elements_.fetch_add(count, std::memory_order_relaxed);
+    WakeAllWaiters();
     return;
   }
-  // Back-pressure on exactly the full queue: only this producer blocks,
-  // and only until shard `shard`'s worker drains a sub-batch — other
-  // lanes keep flowing. A poison unblocks the wait too (the backlog is
-  // discarded, so the queue can only be "full" while healthy).
-  const auto room = [&] {
-    return lanes_[lane].batches.size() < config_.queue_capacity ||
-           !shard_status_[shard].ok();
-  };
-  if (config_.enqueue_timeout_ms > 0) {
-    if (!cv_.wait_for(lock,
-                      std::chrono::milliseconds(config_.enqueue_timeout_ms),
-                      room)) {
-      // The lane is starved: its worker made no room within the
-      // deadline. Poison the shard (sticky) so the failure is surfaced
-      // at the next Flush instead of silently losing only this batch.
-      PoisonShardLocked(
-          shard, Status::DeadlineExceeded(
-                     ShardTag(shard) + " enqueue timed out after " +
-                     std::to_string(config_.enqueue_timeout_ms) +
-                     " ms (lane starved)"));
-      dropped_elements_ += batch.size();
+  if (!lane.ring.TryPush(batch)) {
+    if (!PushWithBackPressure(lane, shard, batch)) {
+      // Not pushed: the shard was (or just got) poisoned; drop.
+      queued_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
+      dropped_elements_.fetch_add(count, std::memory_order_relaxed);
       return;
     }
-  } else {
-    cv_.wait(lock, room);
   }
-  if (!shard_status_[shard].ok()) {
-    dropped_elements_ += batch.size();
-    return;
+  // Published. The seq_cst fence pairs with both consumer-side fences:
+  // either the owner (parked, or draining itself to death) observes this
+  // push, or we observe its parked/degraded flag here and act.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  WorkerSlot& slot = worker_slots_[owner_[shard]];
+  if (slot.parked.load(std::memory_order_relaxed) != 0) {
+    {
+      std::lock_guard<std::mutex> lock(slot.mu);
+    }
+    slot.cv.notify_one();
   }
-  lanes_[lane].batches.push_back(std::move(batch));
-  ++lanes_[lane].enqueued;
-  queued_bytes_ += batch_bytes;
-  lock.unlock();
-  cv_.notify_all();
+  if (degraded_.load(std::memory_order_relaxed)) {
+    // The owner may have died between our health check and the push and
+    // missed this batch in its final drain — reclaim our own lane. (The
+    // fence pairing makes "drain missed it" imply "we see degraded_".)
+    ReclaimDeadLane(producer, shard);
+  }
 }
 
-void ShardedVosSketch::WorkerLoop(unsigned worker) {
-  const std::vector<size_t>& lanes = worker_lanes_[worker];
-  FaultInjector& injector = FaultInjector::Global();
-  // Round-robin cursor over the worker's lanes so no producer's queue is
-  // starved while another lane stays hot.
-  size_t cursor = 0;
+bool ShardedVosSketch::PopNextBatch(unsigned worker, size_t* cursor,
+                                    size_t* lane_index,
+                                    std::vector<stream::Element>* batch) {
+  const std::vector<size_t>& my_lanes = worker_lanes_[worker];
+  WorkerSlot& slot = worker_slots_[worker];
+  int idle_rounds = 0;
   for (;;) {
-    std::vector<stream::Element> batch;
-    size_t lane = 0;
+    // Round-robin over the worker's lanes so no producer's ring is
+    // starved while another lane stays hot.
+    for (size_t i = 0; i < my_lanes.size(); ++i) {
+      const size_t candidate = my_lanes[(*cursor + i) % my_lanes.size()];
+      IngestLane& lane = lanes_[candidate];
+      if (lane.ring.TryPop(batch)) {
+        *cursor = (*cursor + i + 1) % my_lanes.size();
+        *lane_index = candidate;
+        // Room just opened: unpark the lane's producer NOW, before the
+        // batch is applied — with capacity-1 rings the producer would
+        // otherwise idle for a whole apply.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (lane.producer_parked.load(std::memory_order_relaxed) != 0) {
+          {
+            std::lock_guard<std::mutex> lock(lane.park_mu);
+          }
+          lane.park_cv.notify_all();
+        }
+        return true;
+      }
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    if (++idle_rounds <= kIdleSpinRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    idle_rounds = 0;
+    // Park: publish the flag, then re-check under slot.mu — a producer
+    // that pushed before seeing the flag is caught by the predicate's
+    // rescan; one that sees it notifies under slot.mu. No lost wakeups.
+    slot.parked.store(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        if (stopping_) return true;
-        for (size_t l : lanes) {
-          if (!lanes_[l].batches.empty()) return true;
+      std::unique_lock<std::mutex> lock(slot.mu);
+      slot.cv.wait(lock, [&] {
+        if (stopping_.load(std::memory_order_relaxed)) return true;
+        for (size_t l : my_lanes) {
+          if (!lanes_[l].ring.Empty()) return true;
         }
         return false;
       });
-      bool found = false;
-      for (size_t i = 0; i < lanes.size(); ++i) {
-        const size_t candidate = lanes[(cursor + i) % lanes.size()];
-        if (!lanes_[candidate].batches.empty()) {
-          lane = candidate;
-          cursor = (cursor + i + 1) % lanes.size();
-          found = true;
-          break;
-        }
-      }
-      if (!found) return;  // stopping_ and every owned lane drained
-      batch = std::move(lanes_[lane].batches.front());
-      lanes_[lane].batches.pop_front();
     }
-    cv_.notify_all();  // queue shrank: unblock a back-pressured producer
-    const uint32_t shard = static_cast<uint32_t>(lane % router_.num_shards());
+    slot.parked.store(0, std::memory_order_relaxed);
+  }
+}
+
+void ShardedVosSketch::CompleteLaneBatch(IngestLane& lane) {
+  lane.completed.fetch_add(1, std::memory_order_release);
+  // Fence-paired with WaitLanesDrained's waiter registration: either the
+  // flusher's predicate sees this epoch, or we see its waiter count and
+  // pay for the notify. Idle barriers cost one relaxed load per batch.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (flush_waiters_.load(std::memory_order_relaxed) != 0) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+    }
+    flush_cv_.notify_all();
+  }
+}
+
+void ShardedVosSketch::WorkerLoop(unsigned worker) {
+  WorkerInit(worker);
+  FaultInjector& injector = FaultInjector::Global();
+  size_t cursor = 0;
+  size_t lane_index = 0;
+  std::vector<stream::Element> batch;
+  while (PopNextBatch(worker, &cursor, &lane_index, &batch)) {
+    IngestLane& lane = lanes_[lane_index];
+    const uint32_t shard =
+        static_cast<uint32_t>(lane_index % router_.num_shards());
     const unsigned producer =
-        static_cast<unsigned>(lane / router_.num_shards());
+        static_cast<unsigned>(lane_index / router_.num_shards());
     const size_t batch_bytes = batch.size() * sizeof(stream::Element);
+    // Poisoned shard: its backlog is discarded on pop, without the stall
+    // probe, so degraded flushes terminate promptly (the pre-ring design
+    // discarded the backlog at poison time; on-pop discard is the SPSC
+    // equivalent — only the consumer may remove values).
+    if (degraded_.load(std::memory_order_relaxed) && ShardPoisoned(shard)) {
+      dropped_elements_.fetch_add(batch.size(), std::memory_order_relaxed);
+      queued_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
+      batch.clear();
+      CompleteLaneBatch(lane);
+      continue;
+    }
     if (injector.armed()) {
       const uint32_t stall = injector.StallMs(shard, producer);
       if (stall > 0) {
@@ -392,23 +618,43 @@ void ShardedVosSketch::WorkerLoop(unsigned worker) {
       }
       if (injector.Fire(FaultSite::kWorkerKill, shard, producer)) {
         // The worker "crashes" mid-batch: this batch and every queued
-        // batch of its shards are lost, its shards are poisoned, and the
-        // thread exits. Counters are settled so Flush barriers terminate
-        // (degraded) instead of hanging on a dead thread.
-        std::lock_guard<std::mutex> lock(mu_);
-        worker_dead_[worker] = 1;
-        dropped_elements_ += batch.size();
-        queued_bytes_ -= batch_bytes;
-        ++lanes_[lane].completed;
-        for (uint32_t s = 0; s < router_.num_shards(); ++s) {
-          if (owner_[s] != worker) continue;
-          PoisonShardLocked(
-              s, Status::Internal(
-                     ShardTag(s) +
-                     " worker killed mid-batch (fault injection); queued "
-                     "batches lost"));
+        // batch of its shards are lost, its shards are poisoned, and
+        // the thread exits. Counters are settled so Flush barriers
+        // terminate (degraded) instead of hanging on a dead thread.
+        dropped_elements_.fetch_add(batch.size(), std::memory_order_relaxed);
+        queued_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
+        lane.completed.fetch_add(1, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          worker_dead_[worker] = 1;
+          for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+            if (owner_[s] != worker) continue;
+            PoisonShardLocked(
+                s, Status::Internal(
+                       ShardTag(s) +
+                       " worker killed mid-batch (fault injection); queued "
+                       "batches lost"));
+          }
+          // Publish the poison BEFORE the final drains (fence pairs with
+          // EnqueueSubBatch): a producer whose push these drains miss is
+          // guaranteed to observe degraded_ and reclaim its own lane.
+          // Draining under mu_ keeps the single-consumer invariant —
+          // reclaims serialize on mu_ and this thread never pops again.
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          for (size_t l : worker_lanes_[worker]) {
+            IngestLane& dead = lanes_[l];
+            std::vector<stream::Element> discard;
+            while (dead.ring.TryPop(&discard)) {
+              dropped_elements_.fetch_add(discard.size(),
+                                          std::memory_order_relaxed);
+              queued_bytes_.fetch_sub(
+                  discard.size() * sizeof(stream::Element),
+                  std::memory_order_relaxed);
+              dead.completed.fetch_add(1, std::memory_order_release);
+            }
+          }
         }
-        cv_.notify_all();
+        WakeAllWaiters();
         return;
       }
     }
@@ -418,7 +664,6 @@ void ShardedVosSketch::WorkerLoop(unsigned worker) {
     // never throws; a throw models a worker crash — fault injection or a
     // genuinely broken Update) and poison the shard instead of
     // propagating into std::terminate.
-    bool poisoned = false;
     try {
       VosSketch& sketch = shards_[shard];
       for (const stream::Element& e : batch) {
@@ -429,31 +674,66 @@ void ShardedVosSketch::WorkerLoop(unsigned worker) {
         sketch.Update(e);
       }
     } catch (const std::exception& ex) {
-      poisoned = true;
-      std::lock_guard<std::mutex> lock(mu_);
-      PoisonShardLocked(shard, Status::Internal(ShardTag(shard) +
-                                                " update failed: " +
-                                                ex.what()));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        PoisonShardLocked(shard, Status::Internal(ShardTag(shard) +
+                                                  " update failed: " +
+                                                  ex.what()));
+      }
       // The batch is partially applied; count it all as affected — the
       // shard's state is suspect either way and a checkpoint will refuse
       // to cover it.
-      dropped_elements_ += batch.size();
+      dropped_elements_.fetch_add(batch.size(), std::memory_order_relaxed);
+      WakeAllWaiters();
     }
     batch.clear();
     batch.shrink_to_fit();  // release before signalling completion
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      queued_bytes_ -= batch_bytes;
-      if (!poisoned) {
-        ++lanes_[lane].completed;
-      } else if (lanes_[lane].completed < lanes_[lane].enqueued) {
-        // PoisonShardLocked settled the queued backlog; settle the
-        // in-flight batch it could not see.
-        ++lanes_[lane].completed;
+    queued_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
+    CompleteLaneBatch(lane);
+  }
+}
+
+Status ShardedVosSketch::WaitLanesDrained(size_t first, size_t last,
+                                          bool use_timeout,
+                                          const char* what) {
+  const auto drained = [&] {
+    for (size_t l = first; l < last; ++l) {
+      if (lanes_[l].completed.load(std::memory_order_acquire) !=
+          lanes_[l].ring.pushed()) {
+        return false;
       }
     }
-    cv_.notify_all();  // Flush() may be waiting on completion counts
+    return true;
+  };
+  if (drained()) return Status::OK();
+  // Register as a waiter BEFORE re-checking (fence pairs with
+  // CompleteLaneBatch): either we see the final epoch, or the completing
+  // worker sees our registration and notifies under flush_mu_.
+  flush_waiters_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  Status result = Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    if (use_timeout && config_.flush_timeout_ms > 0) {
+      if (!flush_cv_.wait_for(
+              lock, std::chrono::milliseconds(config_.flush_timeout_ms),
+              drained)) {
+        uint64_t pending = 0;
+        for (size_t l = first; l < last; ++l) {
+          pending += lanes_[l].ring.pushed() -
+                     lanes_[l].completed.load(std::memory_order_acquire);
+        }
+        result = Status::DeadlineExceeded(
+            std::string(what) + " timed out after " +
+            std::to_string(config_.flush_timeout_ms) + " ms with " +
+            std::to_string(pending) + " sub-batches unapplied");
+      }
+    } else {
+      flush_cv_.wait(lock, drained);
+    }
   }
+  flush_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  return result;
 }
 
 Status ShardedVosSketch::Flush() {
@@ -462,30 +742,11 @@ Status ShardedVosSketch::Flush() {
     return IngestStatusLocked();
   }
   for (unsigned p = 0; p < producers_; ++p) FlushPendingBuffer(p);
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto drained = [&] {
-    for (const LaneQueue& lane : lanes_) {
-      if (lane.completed != lane.enqueued) return false;
-    }
-    return true;
-  };
-  if (config_.flush_timeout_ms > 0) {
-    if (!cv_.wait_for(lock,
-                      std::chrono::milliseconds(config_.flush_timeout_ms),
-                      drained)) {
-      size_t pending = 0;
-      for (const LaneQueue& lane : lanes_) {
-        pending += lane.enqueued - lane.completed;
-      }
-      return Status::DeadlineExceeded(
-          "Flush timed out after " +
-          std::to_string(config_.flush_timeout_ms) + " ms with " +
-          std::to_string(pending) + " sub-batches unapplied");
-    }
-  } else {
-    cv_.wait(lock, drained);
-  }
-  return IngestStatusLocked();
+  const Status drained = WaitLanesDrained(
+      0, static_cast<size_t>(producers_) * router_.num_shards(),
+      /*use_timeout=*/true, "Flush");
+  if (!drained.ok()) return drained;
+  return IngestStatus();
 }
 
 Status ShardedVosSketch::FlushProducer(unsigned producer) {
@@ -496,28 +757,12 @@ Status ShardedVosSketch::FlushProducer(unsigned producer) {
     return IngestStatusLocked();
   }
   FlushPendingBuffer(producer);
+  const std::string what = "FlushProducer(" + std::to_string(producer) + ")";
   const size_t first = LaneIndex(producer, 0);
-  const size_t last = first + router_.num_shards();
-  std::unique_lock<std::mutex> lock(mu_);
-  const auto drained = [&] {
-    for (size_t l = first; l < last; ++l) {
-      if (lanes_[l].completed != lanes_[l].enqueued) return false;
-    }
-    return true;
-  };
-  if (config_.flush_timeout_ms > 0) {
-    if (!cv_.wait_for(lock,
-                      std::chrono::milliseconds(config_.flush_timeout_ms),
-                      drained)) {
-      return Status::DeadlineExceeded(
-          "FlushProducer(" + std::to_string(producer) +
-          ") timed out after " + std::to_string(config_.flush_timeout_ms) +
-          " ms");
-    }
-  } else {
-    cv_.wait(lock, drained);
-  }
-  return IngestStatusLocked();
+  const Status drained = WaitLanesDrained(first, first + router_.num_shards(),
+                                          /*use_timeout=*/true, what.c_str());
+  if (!drained.ok()) return drained;
+  return IngestStatus();
 }
 
 Status ShardedVosSketch::IngestStatusLocked() const {
@@ -533,8 +778,7 @@ Status ShardedVosSketch::IngestStatus() const {
 }
 
 uint64_t ShardedVosSketch::dropped_elements() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return dropped_elements_;
+  return dropped_elements_.load(std::memory_order_relaxed);
 }
 
 Status ShardedVosSketch::Checkpoint(const std::string& path) {
@@ -553,30 +797,41 @@ Status ShardedVosSketch::Restore(const std::string& path) {
   if (async()) {
     // Quiesce and DISCARD: whatever is buffered or queued belongs to the
     // state being thrown away; the restored watermarks say exactly where
-    // each lane resumes. (Poisoned shards' backlogs are already gone.)
+    // each lane resumes.
     for (unsigned p = 0; p < producers_; ++p) {
-      pending_[p].clear();
-      pending_size_[p].store(0, std::memory_order_relaxed);
-    }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      for (const LaneQueue& lane : lanes_) {
-        if (lane.completed != lane.enqueued) return false;
+      if (!pending_[p].empty()) {
+        dispatched_[p].store(
+            dispatched_[p].load(std::memory_order_relaxed) +
+                pending_[p].size(),
+            std::memory_order_relaxed);
+        pending_[p].clear();
       }
-      return true;
-    });
+    }
+    // Dead workers' rings were drained at kill time (or reclaimed by
+    // their producers); live workers drain or discard the rest, so the
+    // barrier terminates even degraded.
+    const Status drained = WaitLanesDrained(
+        0, static_cast<size_t>(producers_) * router_.num_shards(),
+        /*use_timeout=*/false, "Restore");
+    (void)drained;  // no timeout in use: OK by construction
   }
   return ShardedCheckpointIo::Restore(this, path);
 }
 
 bool ShardedVosSketch::HasPendingIngest() const {
   if (!async()) return false;
-  for (const std::atomic<size_t>& size : pending_size_) {
-    if (size.load(std::memory_order_relaxed) > 0) return true;
+  for (unsigned p = 0; p < producers_; ++p) {
+    if (accepted_[p].load(std::memory_order_relaxed) !=
+        dispatched_[p].load(std::memory_order_relaxed)) {
+      return true;
+    }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const LaneQueue& lane : lanes_) {
-    if (lane.completed != lane.enqueued) return true;
+  const size_t total = static_cast<size_t>(producers_) * router_.num_shards();
+  for (size_t l = 0; l < total; ++l) {
+    if (lanes_[l].completed.load(std::memory_order_acquire) !=
+        lanes_[l].ring.pushed()) {
+      return true;
+    }
   }
   return false;
 }

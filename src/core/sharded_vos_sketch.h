@@ -21,18 +21,32 @@
 // 2·ln|1−2β| term becomes ln|1−2β_A| + ln|1−2β_B|.
 //
 // Ingestion pipeline (ingest_threads ≥ 1): P producer lanes
-// (ingest_producers) feed W shard workers through P·S bounded FIFO
-// queues, one per (producer, shard). A producer's UpdateBatch runs ONE
-// routing pass over its batch (DenseShardMap::Partition — rewrite to
-// dense local ids and split into per-shard sub-batches), then enqueues
-// each non-empty sub-batch onto its own (producer, shard) queue;
-// back-pressure blocks that producer on exactly the full queue. Worker w
-// owns shards {s : s mod W == w} and drains their queues round-robin
-// across producers, applying every element of a sub-batch verbatim — no
-// worker ever scans elements it does not own, so ingest bandwidth scales
-// with the producer count instead of being capped by a per-worker
-// whole-batch scan (~(t_update + t_scan)/t_scan), and with the worker
-// count on the apply side.
+// (ingest_producers) feed W shard workers through P·S bounded SPSC rings
+// (common/spsc_ring.h), one per (producer, shard). A producer's
+// UpdateBatch runs ONE routing pass over its batch
+// (DenseShardMap::Partition — rewrite to dense local ids and split into
+// per-shard sub-batches), then pushes each non-empty sub-batch onto its
+// own (producer, shard) ring. Every ring has exactly one writer (its
+// producer) and one reader (its shard's worker), so the healthy hot path
+// takes NO lock anywhere: push and pop are single release stores,
+// back-pressure is a bounded spin that parks on a per-lane condvar only
+// when the ring stays full, idle workers park on a per-worker condvar
+// only when every owned ring stays empty, and Flush barriers wait on
+// per-lane epoch counters (ring.pushed() vs lane.completed) instead of a
+// global notify_all. Worker w owns shards {s : s mod W == w} and drains
+// their rings round-robin across producers, applying every element of a
+// sub-batch verbatim — no worker ever scans elements it does not own, so
+// ingest bandwidth scales with the producer count instead of being
+// capped by a per-worker whole-batch scan, and with the worker count on
+// the apply side.
+//
+// NUMA placement (pin_numa_workers): shard construction and ring
+// allocation happen ON the owning worker thread, so first-touch places
+// each shard's bit array and each lane's slot array on the worker's
+// node; with pinning enabled each worker additionally sets its affinity
+// to node (w mod num_nodes) (common/numa.h — best-effort, a refused
+// affinity call just runs unpinned, and single-node machines are a
+// no-op).
 //
 // Determinism: each (producer, shard) queue is FIFO and each shard is
 // applied by exactly one worker, so shard s sees producer p's elements in
@@ -96,13 +110,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/spsc_ring.h"
 #include "common/status.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
@@ -154,6 +169,13 @@ struct ShardedVosConfig {
   /// cross the ceiling is dropped and the sticky ingest status becomes
   /// ResourceExhausted — graceful degradation instead of OOM.
   uint64_t memory_budget_bits = 0;
+  /// Pin each shard worker to NUMA node (w mod num_nodes) so it applies
+  /// updates next to the shard arrays and ring slots it first-touched
+  /// (see file comment). Best-effort and a no-op on single-node
+  /// machines; defaults off so tests and single-socket runs are
+  /// unaffected. Tools and the harness default it from
+  /// numa::DefaultPinThreads() (--pin_threads / VOS_PIN).
+  bool pin_numa_workers = false;
 };
 
 /// S independent VosSketch shards behind one ingest/query facade.
@@ -228,8 +250,12 @@ class ShardedVosSketch {
   /// Flush barrier every accepted element is applied, so the watermarks
   /// name the exact per-lane stream positions a checkpoint covers. Only
   /// stable once the pipeline is quiesced.
-  const std::vector<uint64_t>& ingest_watermarks() const {
-    return accepted_;
+  std::vector<uint64_t> ingest_watermarks() const {
+    std::vector<uint64_t> watermarks(accepted_.size());
+    for (size_t p = 0; p < accepted_.size(); ++p) {
+      watermarks[p] = accepted_[p].load(std::memory_order_relaxed);
+    }
+    return watermarks;
   }
 
   /// Atomically checkpoints the flushed state (every shard's sketch, the
@@ -254,9 +280,11 @@ class ShardedVosSketch {
   Status Restore(const std::string& path);
 
   /// True while elements are buffered or queued but not yet applied.
-  /// Safe to poll from any thread while producer lanes are feeding (the
-  /// lane buffers are mirrored through relaxed atomics); a false answer
-  /// is only a stable "quiesced" statement once producers have stopped.
+  /// Lock-free: reads each lane's own atomics — the per-producer
+  /// accepted/dispatched element counters (Update() buffer occupancy)
+  /// and each ring's pushed counter vs its completed epoch — so any
+  /// thread can poll while producer lanes are feeding. A false answer is
+  /// only a stable "quiesced" statement once producers have stopped.
   bool HasPendingIngest() const;
 
   /// (ŝ, Ĵ) for a pair at the current (flushed) state. Same-shard pairs
@@ -321,13 +349,36 @@ class ShardedVosSketch {
  private:
   friend class ShardedCheckpointIo;  // serialization needs raw state
 
-  /// One bounded FIFO of shard-owned sub-batches: the (producer, shard)
-  /// channel. Elements are already in shard-local coordinates, so the
-  /// owning worker applies them verbatim.
-  struct LaneQueue {
-    std::deque<std::vector<stream::Element>> batches;  // guarded by mu_
-    size_t enqueued = 0;   ///< sub-batches pushed (guarded by mu_)
-    size_t completed = 0;  ///< sub-batches applied or dropped (mu_)
+  /// One SPSC channel from producer p to shard s's worker, plus the
+  /// lane's flush epoch and the producer-side parking spot for
+  /// back-pressure. Elements are already in shard-local coordinates, so
+  /// the owning worker applies them verbatim. alignas keeps one lane's
+  /// traffic off its neighbours' cache lines.
+  struct alignas(64) IngestLane {
+    SpscRing<std::vector<stream::Element>> ring;
+    /// Sub-batches applied or discarded by the consumer side. The Flush
+    /// barrier for a lane is completed == ring.pushed(): every pushed
+    /// sub-batch is eventually popped by its worker (applied, or
+    /// discarded against a poisoned shard) or reclaimed from a dead
+    /// worker's ring under mu_, and each of those paths increments this.
+    std::atomic<uint64_t> completed{0};
+    /// 1 while the lane's producer is parked on a full ring. Consumers
+    /// load it after a pop (behind a seq_cst fence) and notify under
+    /// park_mu, pairing with the producer's set-flag → recheck → wait.
+    std::atomic<uint32_t> producer_parked{0};
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+  };
+
+  /// Per-worker parking spot for idle workers: the worker sets `parked`,
+  /// re-scans its rings, and only then waits; producers load `parked`
+  /// after a push (behind a seq_cst fence) and notify under mu — the
+  /// Dekker-style handshake that makes lost wakeups impossible without
+  /// any lock on the non-parked path.
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint32_t> parked{0};
+    std::mutex mu;
+    std::condition_variable cv;
   };
 
   bool async() const { return !worker_threads_.empty(); }
@@ -338,10 +389,25 @@ class ShardedVosSketch {
   /// dense remap. Catches worker-model exceptions and poisons the shard,
   /// exactly like the async apply loop.
   void ApplySyncElement(const stream::Element& e);
-  /// Marks `shard` failed (first error wins, sticky), discards its
-  /// queued sub-batches on every lane and wakes all waiters. Requires
-  /// mu_.
+  /// Marks `shard` failed (first error wins, sticky) and flips the
+  /// degraded flag. Requires mu_; does NOT touch rings (the consumer
+  /// side discards a poisoned shard's backlog on pop, or the kill /
+  /// reclaim paths drain it) and does NOT wake waiters — call
+  /// WakeAllWaiters() after releasing mu_.
   void PoisonShardLocked(uint32_t shard, Status status);
+  /// Wakes every parked producer, every parked worker and every flush
+  /// waiter (cold paths only: poison, budget, stop). Must be called
+  /// WITHOUT mu_ held — park mutexes are never nested inside mu_.
+  void WakeAllWaiters();
+  /// True iff `shard` is poisoned (locks mu_; call only behind a
+  /// degraded_ fast-path check).
+  bool ShardPoisoned(uint32_t shard) const;
+  /// Reclaims lane (producer, shard)'s ring after its owning worker died:
+  /// a push can race a dying worker's final drain, and the seq_cst fence
+  /// pairing guarantees the racing producer then observes degraded_ and
+  /// calls this. Drains under mu_ (the dead worker no longer touches the
+  /// ring; mu_ serializes against Restore and other reclaims).
+  void ReclaimDeadLane(unsigned producer, uint32_t shard);
   Status IngestStatusLocked() const;  // requires mu_
   /// The one routing pass: splits [elements, elements+count) into
   /// per-shard sub-batches rewritten to shard-local coordinates.
@@ -351,8 +417,28 @@ class ShardedVosSketch {
       const;
   void EnqueueSubBatch(unsigned producer, uint32_t shard,
                        std::vector<stream::Element> batch);
+  /// Spin-then-park push: bounded spin on the full ring, then park on the
+  /// lane's condvar until the worker pops, the shard is poisoned, or the
+  /// enqueue deadline expires. Returns false when the batch was NOT
+  /// pushed (caller drops it; on deadline the shard has been poisoned).
+  bool PushWithBackPressure(IngestLane& lane, uint32_t shard,
+                            std::vector<stream::Element>& batch);
   void FlushPendingBuffer(unsigned producer);
+  /// Waits until lanes [first, last) are drained (completed ==
+  /// ring.pushed()), with the config flush deadline when `use_timeout`.
+  Status WaitLanesDrained(size_t first, size_t last, bool use_timeout,
+                          const char* what);
+  /// Signals lane completion: bumps the lane epoch and wakes any flush
+  /// waiter (fence-paired, notify only when someone waits).
+  void CompleteLaneBatch(IngestLane& lane);
   void WorkerLoop(unsigned worker);
+  /// Worker-thread prologue: optional NUMA pinning, then first-touch
+  /// construction of the worker's own shards and ring slot arrays.
+  void WorkerInit(unsigned worker);
+  /// Pops one batch from the worker's lanes (round-robin), parking when
+  /// every owned ring is empty. False = stopping and fully drained.
+  bool PopNextBatch(unsigned worker, size_t* cursor, size_t* lane_index,
+                    std::vector<stream::Element>* batch);
 
   ShardedVosConfig config_;
   stream::ShardRouter router_;
@@ -370,47 +456,73 @@ class ShardedVosSketch {
   /// touched only by its lane's thread (plus Flush on a quiesced
   /// pipeline).
   std::vector<std::vector<stream::Element>> pending_;
-  /// pending_size_[p] mirrors pending_[p].size(), maintained by lane p
-  /// with relaxed stores so HasPendingIngest can poll from any thread
-  /// without racing the lane's vector mutations.
-  std::vector<std::atomic<size_t>> pending_size_;
 
   /// accepted_[p] = elements accepted on lane p since construction (or
   /// the last Restore): the per-lane ingest watermarks. Written only by
-  /// lane p's thread; stable reads require a quiesced pipeline (the
-  /// Flush barrier's mutex pairs the hand-off).
-  std::vector<uint64_t> accepted_;
+  /// lane p's thread (single-writer by construction); relaxed loads give
+  /// HasPendingIngest an advisory view, stable reads require a quiesced
+  /// pipeline.
+  std::vector<std::atomic<uint64_t>> accepted_;
+  /// dispatched_[p] = elements that LEFT lane p's pending buffer
+  /// (pushed to rings, applied inline, or dropped). Single-writer like
+  /// accepted_; accepted − dispatched = the lane's buffered backlog, so
+  /// HasPendingIngest needs no mirror counters and no lock.
+  std::vector<std::atomic<uint64_t>> dispatched_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  /// Producer-major: lanes_[LaneIndex(p, s)] is lane p's shard-s queue.
-  std::vector<LaneQueue> lanes_;
-  /// worker_lanes_[w] = indexes into lanes_ of every queue worker w
+  /// Producer-major: lanes_[LaneIndex(p, s)] is lane p's shard-s ring.
+  /// unique_ptr<[]> (not vector): IngestLane holds a mutex and never
+  /// moves.
+  std::unique_ptr<IngestLane[]> lanes_;
+  /// worker_lanes_[w] = indexes into lanes_ of every ring worker w
   /// drains (its owned shards × all producers). Immutable after
   /// construction.
   std::vector<std::vector<size_t>> worker_lanes_;
-  bool stopping_ = false;
+  std::unique_ptr<WorkerSlot[]> worker_slots_;
+  std::atomic<bool> stopping_{false};
   std::vector<std::thread> worker_threads_;
 
-  // --- Failure state (all guarded by mu_ unless noted) ------------------
+  // --- Worker-side construction hand-off (first-touch; see WorkerInit) --
+  /// Slots the workers construct their owned shards into; drained into
+  /// shards_ by the constructor once every worker finished WorkerInit.
+  std::vector<std::optional<VosSketch>> staged_shards_;
+  std::atomic<unsigned> init_remaining_{0};
+  bool start_ = false;  // guarded by init_mu_
+  std::mutex init_mu_;
+  std::condition_variable init_cv_;
+
+  // --- Flush barrier ----------------------------------------------------
+  /// Number of threads inside WaitLanesDrained. Workers check it after
+  /// bumping a lane epoch (behind a seq_cst fence) and only then pay for
+  /// a notify — the per-batch cost of an idle barrier is one relaxed
+  /// load.
+  std::atomic<uint32_t> flush_waiters_{0};
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+
+  // --- Failure state ----------------------------------------------------
   /// Sticky per-shard health; non-OK = poisoned (worker exception, kill,
-  /// lane starvation). First error wins.
+  /// lane starvation). First error wins. Guarded by mu_.
   std::vector<Status> shard_status_;
   /// Sticky memory-budget rejection (ResourceExhausted) if the queued
-  /// backlog ever crossed memory_budget_bits.
+  /// backlog ever crossed memory_budget_bits. Guarded by mu_.
   Status budget_status_;
   /// Fast-path mirror of "any sticky status is non-OK": one relaxed load
   /// keeps the healthy hot paths at their measured cost.
   std::atomic<bool> degraded_{false};
   /// Elements rejected (poisoned shard / enqueue deadline / budget).
-  uint64_t dropped_elements_ = 0;
-  /// Bytes held by queued-but-unapplied sub-batches (budget accounting).
-  size_t queued_bytes_ = 0;
+  std::atomic<uint64_t> dropped_elements_{0};
+  /// Bytes held by queued-but-unapplied sub-batches (budget accounting):
+  /// charged before the push, released after apply / discard / reject,
+  /// so in-flight batches stay inside the ceiling.
+  std::atomic<size_t> queued_bytes_{0};
   /// Static (arrays + tables) footprint in bits, computed once.
   size_t static_memory_bits_ = 0;
   /// worker_dead_[w]: the worker thread exited via an injected kill; its
-  /// shards cannot ingest again in this process.
+  /// shards cannot ingest again in this process. Guarded by mu_.
   std::vector<uint8_t> worker_dead_;
+  /// Serializes the cold failure/restore state above. NEVER taken on the
+  /// healthy hot path and never held while taking a park mutex.
+  mutable std::mutex mu_;
 };
 
 }  // namespace vos::core

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -345,8 +346,8 @@ Status ShardedCheckpointIo::Save(const ShardedVosSketch& sketch,
     // resumes its stream from element accepted_[p].
     std::string payload;
     AppendPod(&payload, lanes);
-    for (uint64_t watermark : sketch.accepted_) {
-      AppendPod(&payload, watermark);
+    for (const std::atomic<uint64_t>& watermark : sketch.accepted_) {
+      AppendPod(&payload, watermark.load(std::memory_order_relaxed));
     }
     AppendSection(&file, kSectionWatermarks, 0, payload);
   }
@@ -588,10 +589,15 @@ Status ShardedCheckpointIo::Restore(ShardedVosSketch* sketch,
     for (uint32_t s = 0; s < live_shards; ++s) {
       sketch->shards_[s] = std::move(*staged[s]);
     }
-    sketch->accepted_ = std::move(watermarks);
+    for (size_t p = 0; p < watermarks.size(); ++p) {
+      // The lane resumes from its watermark with an empty buffer:
+      // accepted == dispatched, nothing pending.
+      sketch->accepted_[p].store(watermarks[p], std::memory_order_relaxed);
+      sketch->dispatched_[p].store(watermarks[p], std::memory_order_relaxed);
+    }
     for (Status& status : sketch->shard_status_) status = Status::OK();
     sketch->budget_status_ = Status::OK();
-    sketch->dropped_elements_ = 0;
+    sketch->dropped_elements_.store(0, std::memory_order_relaxed);
     bool still_degraded = false;
     // Recovery heals poisoning — except shards whose worker thread was
     // killed: a dead thread cannot be resurrected in-process.

@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -770,6 +772,100 @@ TEST_F(CheckpointRecoveryTest, SingleSketchLoadRejectsTruncatedFiles) {
   const auto loaded = VosSketchIo::Load(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_TRUE(loaded->array() == sketch.array());
+}
+
+// ------------------------------- stress: checkpoint under ingest load
+
+/// Checkpoint-under-load: waves of concurrent producers saturate
+/// capacity-1 rings (every push back-pressures) while a poller hammers
+/// the lock-free HasPendingIngest; between waves the pipeline is
+/// checkpointed at the Flush barrier. Each wave's checkpoint must
+/// restore into a fresh instance and, replayed from its watermarks by
+/// concurrent producers, land bit-identical on the uninterrupted state.
+/// CI's sanitizer legs raise VOS_STRESS_PRODUCERS to oversubscribe the
+/// park/unpark handshakes.
+TEST_F(CheckpointRecoveryTest, CheckpointUnderLoadStress) {
+  unsigned producers = 4;
+  if (const char* env = std::getenv("VOS_STRESS_PRODUCERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1 && parsed <= 64) producers = static_cast<unsigned>(parsed);
+  }
+  ShardedVosConfig config = TestConfig(4, 2, producers);
+  config.queue_capacity = 1;  // every sub-batch rides the back-pressure path
+  config.batch_size = 16;
+  const std::vector<Element> elements = DynamicStream(300, 6000, 47);
+  const std::vector<std::vector<Element>> lanes =
+      StreamReplayer::SplitByUserLane(elements.data(), elements.size(),
+                                      producers);
+
+  ShardedVosSketch uninterrupted(config, 300);
+  FeedLanes(&uninterrupted, lanes, std::vector<uint64_t>(producers, 0));
+  ASSERT_TRUE(uninterrupted.Flush().ok());
+
+  ShardedVosSketch sketch(config, 300);
+  std::atomic<bool> stop_polling{false};
+  std::thread monitor([&] {
+    while (!stop_polling.load()) (void)sketch.HasPendingIngest();
+  });
+
+  constexpr unsigned kWaves = 3;
+  std::vector<std::vector<uint64_t>> wave_cut(kWaves);
+  std::vector<std::string> wave_path(kWaves);
+  std::vector<uint64_t> fed(producers, 0);
+  for (unsigned wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (unsigned p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        // This wave's share of the lane, in small batches so each lane
+        // crosses its ring many times per wave.
+        const uint64_t until = wave + 1 == kWaves
+                                   ? lanes[p].size()
+                                   : (wave + 1) * lanes[p].size() / kWaves;
+        StreamReplayer::ReplayBatchedFrom(
+            lanes[p].data(), until, fed[p], /*batch=*/16,
+            [&](const Element* e, size_t n) { sketch.UpdateBatch(e, n, p); });
+        (void)sketch.FlushProducer(p);
+        fed[p] = until;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    wave_path[wave] = TempPath("underload_w" + std::to_string(wave));
+    ASSERT_TRUE(sketch.Checkpoint(wave_path[wave]).ok()) << "wave " << wave;
+    wave_cut[wave] = sketch.ingest_watermarks();
+    for (unsigned p = 0; p < producers; ++p) {
+      EXPECT_EQ(wave_cut[wave][p], fed[p]) << "wave " << wave;
+    }
+  }
+  stop_polling.store(true);
+  monitor.join();
+  ASSERT_TRUE(sketch.Flush().ok());
+  ASSERT_EQ(sketch.dropped_elements(), 0u);
+  ExpectBitIdentical(sketch, uninterrupted, "final wave state");
+
+  // Every wave's checkpoint is a valid recovery point: restore fresh,
+  // replay each lane's tail concurrently, land on the uninterrupted
+  // state bit-for-bit.
+  for (unsigned wave = 0; wave < kWaves; ++wave) {
+    SCOPED_TRACE("recover from wave " + std::to_string(wave));
+    ShardedVosSketch recovered(config, 300);
+    ASSERT_TRUE(recovered.Restore(wave_path[wave]).ok());
+    ASSERT_EQ(recovered.ingest_watermarks(), wave_cut[wave]);
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        StreamReplayer::ReplayBatchedFrom(
+            lanes[p].data(), lanes[p].size(), wave_cut[wave][p], kBatch,
+            [&](const Element* e, size_t n) {
+              recovered.UpdateBatch(e, n, p);
+            });
+        (void)recovered.FlushProducer(p);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ASSERT_TRUE(recovered.Flush().ok());
+    ExpectBitIdentical(recovered, uninterrupted, "recovered from wave");
+  }
 }
 
 // ------------------------- method layer: degraded pipeline keeps serving

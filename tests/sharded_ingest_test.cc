@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -405,7 +407,7 @@ TEST(ShardedVosSketchTest, AsyncPipelineMatchesSynchronousForAllThreadCounts) {
 TEST(ShardedVosSketchTest, MultiProducerMatrixMatchesSynchronousRouting) {
   const UserId users = 64;
   const std::vector<Element> elements = DynamicStream(users, 6000, 91);
-  for (const unsigned producers : {1u, 2u, 4u}) {
+  for (const unsigned producers : {1u, 2u, 4u, 8u}) {
     const std::vector<std::vector<Element>> lanes =
         SplitByProducer(elements, producers);
     for (const uint32_t shards : {1u, 4u}) {
@@ -458,7 +460,13 @@ TEST(ShardedVosSketchTest, MultiProducerMatrixMatchesSynchronousRouting) {
 /// barrier must neither deadlock nor lose elements.
 TEST(ShardedVosSketchTest, FlushProducerUnderBackPressure) {
   const UserId users = 48;
-  const unsigned producers = 4;
+  // CI's sanitizer legs raise the lane count (VOS_STRESS_PRODUCERS=8) so
+  // the park/unpark handshakes run with more producers than cores.
+  unsigned producers = 4;
+  if (const char* env = std::getenv("VOS_STRESS_PRODUCERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1 && parsed <= 64) producers = static_cast<unsigned>(parsed);
+  }
   const uint32_t shards = 4;
   const std::vector<Element> elements = DynamicStream(users, 4000, 13);
   const std::vector<std::vector<Element>> lanes =

@@ -1,0 +1,213 @@
+// Unit tests for common/spsc_ring.h: FIFO order across counter wraparound,
+// capacity-1 alternation, the sentinel guarantee (a failed push writes
+// nothing and leaves the value intact), monotonic pushed/popped counters,
+// and a two-thread full/empty race stress across capacities — the latter is
+// what the TSAN CI leg exists for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_ring.h"
+
+namespace vos {
+namespace {
+
+TEST(SpscRingTest, StartsEmptyAndInitialized) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.initialized());
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.Full());
+  EXPECT_EQ(ring.size(), 0u);
+  int out = -1;
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_EQ(out, -1);
+}
+
+TEST(SpscRingTest, DeferredInit) {
+  SpscRing<int> ring;
+  EXPECT_FALSE(ring.initialized());
+  EXPECT_EQ(ring.capacity(), 0u);
+  ring.Init(2);
+  EXPECT_TRUE(ring.initialized());
+  int v = 7;
+  EXPECT_TRUE(ring.TryPush(v));
+  int out = 0;
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(SpscRingTest, CapacityOneAlternation) {
+  SpscRing<int> ring(1);
+  for (int i = 0; i < 100; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(v)) << i;
+    EXPECT_TRUE(ring.Full());
+    int blocked = -1;
+    EXPECT_FALSE(ring.TryPush(blocked)) << i;  // full: must refuse
+    int out = -1;
+    EXPECT_TRUE(ring.TryPop(&out)) << i;
+    EXPECT_EQ(out, i);
+    EXPECT_TRUE(ring.Empty());
+    EXPECT_FALSE(ring.TryPop(&out)) << i;  // empty: must refuse
+  }
+  EXPECT_EQ(ring.pushed(), 100u);
+  EXPECT_EQ(ring.popped(), 100u);
+}
+
+TEST(SpscRingTest, WraparoundPreservesFifoOrder) {
+  // Capacity 3 against 1000 values: the slot index wraps hundreds of
+  // times while the monotonic counters never do.
+  SpscRing<int> ring(3);
+  int next_push = 0;
+  int next_pop = 0;
+  while (next_pop < 1000) {
+    int v = next_push;
+    while (next_push < 1000 && ring.TryPush(v)) {
+      ++next_push;
+      v = next_push;
+    }
+    int out = -1;
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, next_pop);
+    ++next_pop;
+  }
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_EQ(ring.pushed(), 1000u);
+  EXPECT_EQ(ring.popped(), 1000u);
+}
+
+TEST(SpscRingTest, FailedPushWritesNothingAndKeepsTheValue) {
+  // The sentinel guarantee: a full ring's TryPush must not touch any
+  // slot (nothing is ever written past the live slots) and must leave
+  // the caller's value intact so it can be retried or dropped with its
+  // contents.
+  SpscRing<std::string> ring(2);
+  std::string a = "first";
+  std::string b = "second";
+  ASSERT_TRUE(ring.TryPush(a));
+  ASSERT_TRUE(ring.TryPush(b));
+  std::string overflow = "overflow-payload";
+  EXPECT_FALSE(ring.TryPush(overflow));
+  EXPECT_EQ(overflow, "overflow-payload");  // untouched, not moved-from
+  EXPECT_EQ(ring.pushed(), 2u);
+  std::string out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, "first");
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, "second");  // the failed push corrupted no live slot
+}
+
+TEST(SpscRingTest, PopResetsSlotReleasingHeapPayloads) {
+  SpscRing<std::shared_ptr<int>> ring(2);
+  std::shared_ptr<int> value = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = value;
+  ASSERT_TRUE(ring.TryPush(value));
+  std::shared_ptr<int> out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  ASSERT_EQ(*out, 42);
+  out.reset();
+  // The slot was reset on pop, so nothing inside the ring still owns it.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SpscRingTest, CountersAreMonotonicAndSizeDerives) {
+  SpscRing<int> ring(4);
+  uint64_t last_pushed = 0;
+  uint64_t last_popped = 0;
+  for (int round = 0; round < 50; ++round) {
+    int v = round;
+    ASSERT_TRUE(ring.TryPush(v));
+    EXPECT_GT(ring.pushed(), last_pushed);
+    last_pushed = ring.pushed();
+    EXPECT_EQ(ring.size(), last_pushed - last_popped);
+    if (round % 2 == 1) {
+      int out = 0;
+      ASSERT_TRUE(ring.TryPop(&out));
+      EXPECT_GT(ring.popped(), last_popped);
+      last_popped = ring.popped();
+    }
+    if (ring.Full()) {
+      int out = 0;
+      while (ring.TryPop(&out)) {
+      }
+      last_popped = ring.popped();
+    }
+  }
+  EXPECT_EQ(ring.pushed(), last_pushed);
+}
+
+// Two threads hammer one ring: every value must arrive exactly once, in
+// order, across constant full/empty transitions. Run under TSAN in CI —
+// the acquire/release pairing on head_/tail_ is the entire correctness
+// argument of the ingest hot path.
+void RaceStress(size_t capacity, uint64_t total) {
+  SpscRing<uint64_t> ring(capacity);
+  std::atomic<bool> failed{false};
+  std::thread consumer([&] {
+    uint64_t expect = 0;
+    while (expect < total) {
+      uint64_t out = 0;
+      if (ring.TryPop(&out)) {
+        if (out != expect) {
+          failed.store(true);
+          return;
+        }
+        ++expect;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (uint64_t v = 0; v < total; ++v) {
+    uint64_t value = v;
+    while (!ring.TryPush(value)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_FALSE(failed.load()) << "capacity " << capacity;
+  EXPECT_EQ(ring.pushed(), total);
+  EXPECT_EQ(ring.popped(), total);
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingStressTest, FullEmptyRaceCapacityOne) { RaceStress(1, 20000); }
+TEST(SpscRingStressTest, FullEmptyRaceCapacityTwo) { RaceStress(2, 20000); }
+TEST(SpscRingStressTest, FullEmptyRaceCapacity64) { RaceStress(64, 200000); }
+
+TEST(SpscRingStressTest, VectorPayloadRace) {
+  // The payload type the ingest fabric actually ships: moved-in vectors
+  // must arrive with their contents intact.
+  SpscRing<std::vector<int>> ring(4);
+  constexpr int kBatches = 5000;
+  std::atomic<bool> failed{false};
+  std::thread consumer([&] {
+    int expect = 0;
+    while (expect < kBatches) {
+      std::vector<int> out;
+      if (ring.TryPop(&out)) {
+        if (out.size() != 3 || out[0] != expect || out[2] != expect + 2) {
+          failed.store(true);
+          return;
+        }
+        ++expect;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<int> batch = {b, b + 1, b + 2};
+    while (!ring.TryPush(batch)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace vos

@@ -5,13 +5,13 @@ The bench binaries emit machine-readable rows via --json (one object per
 table row; see bench/bench_util.h MaybeEmitJson). CI uploads them as
 BENCH_*.json artifacts; this tool closes the loop by comparing a fresh
 run against the baseline committed under bench/baselines/, flagging any
-row whose throughput regressed by more than --max-regression (default
-20%).
+row whose throughput — or per-lane producer-scaling efficiency, where a
+row carries one — regressed by more than --max-regression (default 20%).
 
 Rows are keyed by every identity column (bench, phase, engine, shards,
-producers, threads, unit — whichever are present), so a schema change
-that adds a column simply widens the key. Metric columns (seconds,
-throughput, speedup, recall) never participate in the key.
+producers, threads, pinned, unit — whichever are present), so a schema
+change that adds a column simply widens the key. Metric columns (seconds,
+throughput, speedup, recall, efficiency) never participate in the key.
 
 Trend mode: pass a DIRECTORY as the baseline to compare against the last
 N (--last, default 5) BENCH_*.json files found in it — e.g. a folder of
@@ -42,7 +42,14 @@ import os
 import statistics
 import sys
 
-METRIC_COLUMNS = frozenset({"seconds", "throughput", "speedup", "recall"})
+METRIC_COLUMNS = frozenset(
+    {"seconds", "throughput", "speedup", "recall", "efficiency"})
+
+# Metrics where lower-than-baseline means a regression. Efficiency is the
+# micro_ingest_path producer-scaling column: throughput(P) divided by
+# P times throughput(1) — it catches a scaling collapse (lanes serializing
+# on each other) that absolute throughput noise can hide.
+COMPARED_METRICS = ("throughput", "efficiency")
 
 
 def row_key(row):
@@ -96,12 +103,13 @@ def load_trend_window(directory, bench_name, last):
     samples = {}
     for path in window:  # oldest → newest; newest row wins the identity
         for key, row in load_rows(path).items():
-            throughput = row.get("throughput")
-            if isinstance(throughput, (int, float)) and throughput > 0:
-                samples.setdefault(key, []).append(throughput)
+            for metric in COMPARED_METRICS:
+                value = row.get(metric)
+                if isinstance(value, (int, float)) and value > 0:
+                    samples.setdefault((key, metric), []).append(value)
             merged[key] = dict(row)
-    for key, values in samples.items():
-        merged[key]["throughput"] = statistics.median(values)
+    for (key, metric), values in samples.items():
+        merged[key][metric] = statistics.median(values)
     return merged
 
 
@@ -157,26 +165,27 @@ def main():
             print(f"warning: baseline row missing from current run: "
                   f"{format_key(key)}")
             continue
-        base = base_row.get("throughput")
-        new = new_row.get("throughput")
-        if not isinstance(base, (int, float)) or not isinstance(
-                new, (int, float)) or base <= 0:
-            continue
-        compared += 1
-        ratio = new / base
-        if ratio < 1.0 - args.max_regression:
-            regressions.append((key, base, new, ratio))
-        elif ratio > 1.0:
-            improvements += 1
+        for metric in COMPARED_METRICS:
+            base = base_row.get(metric)
+            new = new_row.get(metric)
+            if not isinstance(base, (int, float)) or not isinstance(
+                    new, (int, float)) or base <= 0:
+                continue
+            compared += 1
+            ratio = new / base
+            if ratio < 1.0 - args.max_regression:
+                regressions.append((key, metric, base, new, ratio))
+            elif ratio > 1.0:
+                improvements += 1
 
     for key in sorted(set(current) - set(baseline)):
         print(f"note: new row not in baseline: {format_key(key)}")
 
-    for key, base, new, ratio in regressions:
-        print(f"REGRESSION ({(1.0 - ratio) * 100.0:.1f}% slower): "
+    for key, metric, base, new, ratio in regressions:
+        print(f"REGRESSION ({(1.0 - ratio) * 100.0:.1f}% lower {metric}): "
               f"{format_key(key)}: {base:.3g} -> {new:.3g}")
 
-    print(f"compared {compared} rows: {len(regressions)} regression(s) "
+    print(f"compared {compared} row metric(s): {len(regressions)} regression(s) "
           f"beyond {args.max_regression * 100.0:.0f}%, "
           f"{improvements} improvement(s)")
     if regressions:
