@@ -299,8 +299,9 @@ int main(int argc, char** argv) {
         sketch.UpdateBatch(elements.data() + t,
                            std::min(batch, elements.size() - t));
       }
-      sketch.Flush();
+      const Status flushed = sketch.Flush();
       const double elapsed = timer.ElapsedSeconds();
+      VOS_CHECK(flushed.ok()) << "async ingest degraded:" << flushed.ToString();
       if (r == 0 || elapsed < async_seconds) async_seconds = elapsed;
       // The concurrent pipeline must land on exactly the synchronous
       // pipeline's state (per-shard order is preserved by construction).
@@ -360,13 +361,18 @@ int main(int argc, char** argv) {
               sketch.UpdateBatch(lane.data() + t,
                                  std::min(batch, lane.size() - t), p);
             }
-            sketch.FlushProducer(p);
+            const Status lane_flushed = sketch.FlushProducer(p);
+            VOS_CHECK(lane_flushed.ok())
+                << "producer" << p
+                << "flush degraded:" << lane_flushed.ToString();
           });
         }
         for (std::thread& t : producer_threads) t.join();
       }
-      sketch.Flush();
+      const Status flushed = sketch.Flush();
       const double elapsed = timer.ElapsedSeconds();
+      VOS_CHECK(flushed.ok())
+          << "multi-producer ingest degraded:" << flushed.ToString();
       if (r == 0 || elapsed < mp_seconds) mp_seconds = elapsed;
       CheckShardsIdentical(sketch, reference);
     }

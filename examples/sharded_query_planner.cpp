@@ -61,7 +61,9 @@ int main() {
     }
   }
   sketch.UpdateBatch(batch.data(), batch.size());
-  sketch.Flush();  // quiesce the workers before snapshotting
+  // Quiesce the workers before snapshotting; a degraded pipeline would
+  // make every number below meaningless.
+  VOS_CHECK(sketch.Flush().ok());
 
   std::printf("ingested %zu elements into %u shards "
               "(%.1f bits/user total memory)\n",
@@ -119,7 +121,7 @@ int main() {
   for (uint32_t c = 0; c < 200; ++c) {
     sketch.Update({0, 0 * 100000u + c, Action::kDelete});
   }
-  sketch.Flush();
+  VOS_CHECK(sketch.Flush().ok());
   const bool incremental = planner.Refresh();
   const auto top_after = planner.TopK(0, 4);
   std::printf("after user 0 drops 200 shared channels (%s refresh): "

@@ -54,13 +54,13 @@ FaultInjector::FaultInjector() {
 
 void FaultInjector::Arm(FaultSpec spec) {
   if (spec.site == FaultSite::kLaneStall) spec.once = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.push_back(Entry{spec});
   armed_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
 }
@@ -125,7 +125,7 @@ bool FaultInjector::ArmFromString(const std::string& plan,
 
 std::optional<FaultSpec> FaultInjector::Match(FaultSite site, int64_t shard,
                                               int64_t producer) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (Entry& entry : entries_) {
     if (entry.fired || entry.spec.site != site) continue;
     if (entry.spec.shard >= 0 && shard >= 0 && entry.spec.shard != shard) {

@@ -43,10 +43,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace vos {
 
@@ -135,8 +136,8 @@ class FaultInjector {
   std::optional<FaultSpec> Match(FaultSite site, int64_t shard,
                                  int64_t producer);
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;          // guarded by mu_
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ VOS_GUARDED_BY(mu_);
   std::atomic<int> armed_count_{0};     // mirrors entries-not-yet-fired
   std::atomic<uint64_t> fires_[6] = {};
 };

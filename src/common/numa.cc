@@ -4,7 +4,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <thread>
 

@@ -42,7 +42,13 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Cheap to copy in the OK case (empty message). Follows the RocksDB/Abseil
 /// convention: constructors per category, `ok()` query, `ToString()` for
 /// diagnostics.
-class Status {
+///
+/// [[nodiscard]]: dropping a returned Status on the floor is a compile
+/// warning (and an error in the CI static-analysis leg) — a silently
+/// ignored flush/checkpoint failure is exactly the bug class PR 6 exists
+/// to prevent. The rare intentional drop must say so: `(void)Flush();`
+/// with a comment on why the status is irrelevant there.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -110,9 +116,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 ///
 /// Accessing `value()` on a non-OK StatusOr aborts (programming error); call
 /// sites must check `ok()` first, typically via VOS_RETURN_IF_ERROR /
-/// VOS_ASSIGN_OR_RETURN.
+/// VOS_ASSIGN_OR_RETURN. [[nodiscard]] like Status: a dropped StatusOr
+/// discards both the error and the value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value: `return 42;` inside StatusOr<int> functions.
   StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -173,7 +173,7 @@ std::vector<QueryPlanner::Entry> QueryPlanner::TopK(UserId query,
       seed = query_options_.topk_warm_threshold;
     }
     if (query_options_.topk_warm_start) {
-      std::lock_guard<std::mutex> lock(warm_mutex_);
+      MutexLock lock(&warm_mutex_);
       const auto it = warm_topk_bounds_.find(WarmKey(query, k));
       if (it != warm_topk_bounds_.end()) seed = std::max(seed, it->second);
     }
@@ -188,7 +188,7 @@ std::vector<QueryPlanner::Entry> QueryPlanner::TopK(UserId query,
     result = TopKImpl(query, k, -1.0);
   }
   if (query_options_.topk_warm_start && result.size() == k) {
-    std::lock_guard<std::mutex> lock(warm_mutex_);
+    MutexLock lock(&warm_mutex_);
     warm_topk_bounds_[WarmKey(query, k)] = result.back().jaccard;
   }
   return result;

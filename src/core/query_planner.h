@@ -78,10 +78,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/sharded_vos_sketch.h"
 #include "core/similarity_index.h"
 
@@ -188,8 +188,9 @@ class QueryPlanner {
   static uint64_t WarmKey(UserId query, size_t k) {
     return (uint64_t{query} << 32) | (k & 0xffffffffull);
   }
-  mutable std::mutex warm_mutex_;
-  mutable std::unordered_map<uint64_t, double> warm_topk_bounds_;
+  mutable Mutex warm_mutex_;
+  mutable std::unordered_map<uint64_t, double> warm_topk_bounds_
+      VOS_GUARDED_BY(warm_mutex_);
 };
 
 }  // namespace vos::core

@@ -165,8 +165,8 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
       worker_threads_.emplace_back(&ShardedVosSketch::WorkerLoop, this, w);
     }
     {
-      std::unique_lock<std::mutex> lock(init_mu_);
-      init_cv_.wait(lock, [&] {
+      MutexLock lock(&init_mu_);
+      init_cv_.Wait(init_mu_, [&] {
         return init_remaining_.load(std::memory_order_acquire) == 0;
       });
     }
@@ -177,10 +177,10 @@ ShardedVosSketch::ShardedVosSketch(const ShardedVosConfig& config,
     staged_shards_.clear();
     staged_shards_.shrink_to_fit();
     {
-      std::lock_guard<std::mutex> lock(init_mu_);
+      MutexLock lock(&init_mu_);
       start_ = true;
     }
-    init_cv_.notify_all();
+    init_cv_.NotifyAll();
   } else {
     producers_ = 1;  // synchronous ingestion is single-threaded by contract
     shards_.reserve(config.num_shards);
@@ -221,21 +221,21 @@ void ShardedVosSketch::WorkerInit(unsigned worker) {
   }
   if (init_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     {
-      std::lock_guard<std::mutex> lock(init_mu_);
+      MutexLock lock(&init_mu_);
     }
-    init_cv_.notify_all();
+    init_cv_.NotifyAll();
   }
   // The constructor adopts the staged shards into shards_; do not touch
   // shards_ (or pop — producers cannot push before the constructor
   // returns anyway) until it says go.
-  std::unique_lock<std::mutex> lock(init_mu_);
-  init_cv_.wait(lock, [&] { return start_; });
+  MutexLock lock(&init_mu_);
+  while (!start_) init_cv_.Wait(init_mu_);
 }
 
 void ShardedVosSketch::ApplySyncElement(const stream::Element& e) {
   const uint32_t s = router_.ShardOf(e.user);
   if (degraded_.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!shard_status_[s].ok()) {
       // Poisoned shard: reject instead of corrupting partial state.
       dropped_elements_.fetch_add(1, std::memory_order_relaxed);
@@ -253,7 +253,7 @@ void ShardedVosSketch::ApplySyncElement(const stream::Element& e) {
     shards_[s].Update(local);
   } catch (const std::exception& ex) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       PoisonShardLocked(
           s, Status::Internal(ShardTag(s) + " update failed: " + ex.what()));
     }
@@ -350,28 +350,28 @@ void ShardedVosSketch::WakeAllWaiters() {
   if (worker_slots_ != nullptr) {
     for (size_t w = 0; w < worker_threads_.size(); ++w) {
       {
-        std::lock_guard<std::mutex> lock(worker_slots_[w].mu);
+        MutexLock lock(&worker_slots_[w].mu);
       }
-      worker_slots_[w].cv.notify_all();
+      worker_slots_[w].cv.NotifyAll();
     }
   }
   if (lanes_ != nullptr) {
     const size_t total = static_cast<size_t>(producers_) * router_.num_shards();
     for (size_t l = 0; l < total; ++l) {
       {
-        std::lock_guard<std::mutex> lock(lanes_[l].park_mu);
+        MutexLock lock(&lanes_[l].park_mu);
       }
-      lanes_[l].park_cv.notify_all();
+      lanes_[l].park_cv.NotifyAll();
     }
   }
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(&flush_mu_);
   }
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
 }
 
 bool ShardedVosSketch::ShardPoisoned(uint32_t shard) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return !shard_status_[shard].ok();
 }
 
@@ -379,7 +379,7 @@ void ShardedVosSketch::ReclaimDeadLane(unsigned producer, uint32_t shard) {
   IngestLane& lane = lanes_[LaneIndex(producer, shard)];
   bool reclaimed = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shard_status_[shard].ok() || worker_dead_[owner_[shard]] == 0) {
       // The owner is alive: it discards poisoned backlog on pop itself.
       return;
@@ -425,26 +425,35 @@ bool ShardedVosSketch::PushWithBackPressure(
     ~ClearFlag() { flag.store(0, std::memory_order_relaxed); }
   } clear_on_exit{lane.producer_parked};
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  std::unique_lock<std::mutex> lock(lane.park_mu);
+  // Explicit Lock/Unlock (not MutexLock): the loop drops park_mu around
+  // ShardPoisoned/mu_ so park mutexes are never held while taking mu_,
+  // and the analysis checks every exit path releases exactly once.
+  lane.park_mu.Lock();
   for (;;) {
-    if (lane.ring.TryPush(batch)) return true;
+    if (lane.ring.TryPush(batch)) {
+      lane.park_mu.Unlock();
+      return true;
+    }
     if (degraded_.load(std::memory_order_relaxed)) {
-      lock.unlock();
+      lane.park_mu.Unlock();
       if (ShardPoisoned(shard)) return false;
-      lock.lock();
+      lane.park_mu.Lock();
       // Degraded for someone else's sake; re-test the ring, keep waiting.
       continue;
     }
     if (use_deadline) {
-      if (lane.park_cv.wait_until(lock, deadline) ==
+      if (lane.park_cv.WaitUntil(lane.park_mu, deadline) ==
           std::cv_status::timeout) {
-        if (lane.ring.TryPush(batch)) return true;  // room at the wire
+        if (lane.ring.TryPush(batch)) {  // room at the wire
+          lane.park_mu.Unlock();
+          return true;
+        }
         // The lane is starved: its worker made no room within the
         // deadline. Poison the shard (sticky) so the failure surfaces
         // at the next Flush instead of silently losing only this batch.
-        lock.unlock();  // park mutexes are never held while taking mu_
+        lane.park_mu.Unlock();  // park mutexes never held while taking mu_
         {
-          std::lock_guard<std::mutex> cold(mu_);
+          MutexLock cold(&mu_);
           PoisonShardLocked(
               shard, Status::DeadlineExceeded(
                          ShardTag(shard) + " enqueue timed out after " +
@@ -455,7 +464,7 @@ bool ShardedVosSketch::PushWithBackPressure(
         return false;
       }
     } else {
-      lane.park_cv.wait(lock);
+      lane.park_cv.Wait(lane.park_mu);
     }
   }
 }
@@ -481,7 +490,7 @@ void ShardedVosSketch::EnqueueSubBatch(unsigned producer, uint32_t shard,
           config_.memory_budget_bits) {
     queued_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (budget_status_.ok()) {
         budget_status_ = Status::ResourceExhausted(
             "ingest backlog would exceed memory_budget_bits (" +
@@ -508,9 +517,9 @@ void ShardedVosSketch::EnqueueSubBatch(unsigned producer, uint32_t shard,
   WorkerSlot& slot = worker_slots_[owner_[shard]];
   if (slot.parked.load(std::memory_order_relaxed) != 0) {
     {
-      std::lock_guard<std::mutex> lock(slot.mu);
+      MutexLock lock(&slot.mu);
     }
-    slot.cv.notify_one();
+    slot.cv.NotifyOne();
   }
   if (degraded_.load(std::memory_order_relaxed)) {
     // The owner may have died between our health check and the push and
@@ -541,9 +550,9 @@ bool ShardedVosSketch::PopNextBatch(unsigned worker, size_t* cursor,
         std::atomic_thread_fence(std::memory_order_seq_cst);
         if (lane.producer_parked.load(std::memory_order_relaxed) != 0) {
           {
-            std::lock_guard<std::mutex> lock(lane.park_mu);
+            MutexLock lock(&lane.park_mu);
           }
-          lane.park_cv.notify_all();
+          lane.park_cv.NotifyAll();
         }
         return true;
       }
@@ -560,8 +569,8 @@ bool ShardedVosSketch::PopNextBatch(unsigned worker, size_t* cursor,
     slot.parked.store(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     {
-      std::unique_lock<std::mutex> lock(slot.mu);
-      slot.cv.wait(lock, [&] {
+      MutexLock lock(&slot.mu);
+      slot.cv.Wait(slot.mu, [&] {
         if (stopping_.load(std::memory_order_relaxed)) return true;
         for (size_t l : my_lanes) {
           if (!lanes_[l].ring.Empty()) return true;
@@ -581,9 +590,9 @@ void ShardedVosSketch::CompleteLaneBatch(IngestLane& lane) {
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (flush_waiters_.load(std::memory_order_relaxed) != 0) {
     {
-      std::lock_guard<std::mutex> lock(flush_mu_);
+      MutexLock lock(&flush_mu_);
     }
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
   }
 }
 
@@ -625,7 +634,7 @@ void ShardedVosSketch::WorkerLoop(unsigned worker) {
         queued_bytes_.fetch_sub(batch_bytes, std::memory_order_relaxed);
         lane.completed.fetch_add(1, std::memory_order_release);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           worker_dead_[worker] = 1;
           for (uint32_t s = 0; s < router_.num_shards(); ++s) {
             if (owner_[s] != worker) continue;
@@ -675,7 +684,7 @@ void ShardedVosSketch::WorkerLoop(unsigned worker) {
       }
     } catch (const std::exception& ex) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         PoisonShardLocked(shard, Status::Internal(ShardTag(shard) +
                                                   " update failed: " +
                                                   ex.what()));
@@ -713,10 +722,10 @@ Status ShardedVosSketch::WaitLanesDrained(size_t first, size_t last,
   std::atomic_thread_fence(std::memory_order_seq_cst);
   Status result = Status::OK();
   {
-    std::unique_lock<std::mutex> lock(flush_mu_);
+    MutexLock lock(&flush_mu_);
     if (use_timeout && config_.flush_timeout_ms > 0) {
-      if (!flush_cv_.wait_for(
-              lock, std::chrono::milliseconds(config_.flush_timeout_ms),
+      if (!flush_cv_.WaitFor(
+              flush_mu_, std::chrono::milliseconds(config_.flush_timeout_ms),
               drained)) {
         uint64_t pending = 0;
         for (size_t l = first; l < last; ++l) {
@@ -729,7 +738,7 @@ Status ShardedVosSketch::WaitLanesDrained(size_t first, size_t last,
             std::to_string(pending) + " sub-batches unapplied");
       }
     } else {
-      flush_cv_.wait(lock, drained);
+      flush_cv_.Wait(flush_mu_, drained);
     }
   }
   flush_waiters_.fetch_sub(1, std::memory_order_relaxed);
@@ -738,7 +747,7 @@ Status ShardedVosSketch::WaitLanesDrained(size_t first, size_t last,
 
 Status ShardedVosSketch::Flush() {
   if (!async()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return IngestStatusLocked();
   }
   for (unsigned p = 0; p < producers_; ++p) FlushPendingBuffer(p);
@@ -753,7 +762,7 @@ Status ShardedVosSketch::FlushProducer(unsigned producer) {
   VOS_CHECK(producer < config_.ingest_producers)
       << "producer" << producer << "of" << config_.ingest_producers;
   if (!async()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return IngestStatusLocked();
   }
   FlushPendingBuffer(producer);
@@ -773,7 +782,7 @@ Status ShardedVosSketch::IngestStatusLocked() const {
 }
 
 Status ShardedVosSketch::IngestStatus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return IngestStatusLocked();
 }
 

@@ -108,10 +108,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -119,6 +117,7 @@
 
 #include "common/spsc_ring.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
 #include "stream/shard_router.h"
@@ -225,18 +224,18 @@ class ShardedVosSketch {
   /// producer is feeding concurrently. With flush_timeout_ms set, an
   /// expired wait returns DeadlineExceeded (and applies no state
   /// change). In synchronous mode returns IngestStatus() immediately.
-  Status Flush();
+  Status Flush() VOS_EXCLUDES(mu_);
 
   /// Blocks until every element accepted on lane `producer` is applied
   /// (or dropped), then returns IngestStatus(). Safe to call from the
   /// lane's own thread while OTHER lanes are still feeding.
-  Status FlushProducer(unsigned producer);
+  Status FlushProducer(unsigned producer) VOS_EXCLUDES(mu_);
 
   /// The sticky health of the ingest fabric: OK while every shard is
   /// healthy and no batch has been rejected; otherwise the first
   /// poisoned shard's status (worker exception / kill / starvation) or
   /// the budget-rejection status. Sticky until Restore().
-  Status IngestStatus() const;
+  Status IngestStatus() const VOS_EXCLUDES(mu_);
 
   /// Elements dropped because their destination shard was poisoned, a
   /// back-pressured enqueue timed out, or the memory budget was hit.
@@ -265,7 +264,7 @@ class ShardedVosSketch {
   /// no-concurrent-producer contract as Flush); refuses with the sticky
   /// status if the pipeline is degraded — a checkpoint must never cover
   /// dropped data.
-  Status Checkpoint(const std::string& path);
+  Status Checkpoint(const std::string& path) VOS_EXCLUDES(mu_);
 
   /// Restores a checkpoint written by Checkpoint() with a matching
   /// configuration (manifest-checked). All-or-nothing: every section is
@@ -277,7 +276,7 @@ class ShardedVosSketch {
   /// stream from ingest_watermarks()[lane]. Shards whose worker thread
   /// was killed stay rejected (FailedPrecondition): a dead thread cannot
   /// be resurrected in-process; restore into a fresh instance instead.
-  Status Restore(const std::string& path);
+  Status Restore(const std::string& path) VOS_EXCLUDES(mu_);
 
   /// True while elements are buffered or queued but not yet applied.
   /// Lock-free: reads each lane's own atomics — the per-producer
@@ -366,8 +365,11 @@ class ShardedVosSketch {
     /// load it after a pop (behind a seq_cst fence) and notify under
     /// park_mu, pairing with the producer's set-flag → recheck → wait.
     std::atomic<uint32_t> producer_parked{0};
-    std::mutex park_mu;
-    std::condition_variable park_cv;
+    /// Park-path leaf lock: never held while acquiring mu_ (see mu_'s
+    /// ordering note; array members cannot carry VOS_ACQUIRED_BEFORE, so
+    /// the order is enforced by VOS_EXCLUDES(mu_) on every acquirer).
+    Mutex park_mu;
+    CondVar park_cv;
   };
 
   /// Per-worker parking spot for idle workers: the worker sets `parked`,
@@ -377,8 +379,9 @@ class ShardedVosSketch {
   /// any lock on the non-parked path.
   struct alignas(64) WorkerSlot {
     std::atomic<uint32_t> parked{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    /// Park-path leaf lock, same ordering rule as IngestLane::park_mu.
+    Mutex mu;
+    CondVar cv;
   };
 
   bool async() const { return !worker_threads_.empty(); }
@@ -388,27 +391,27 @@ class ShardedVosSketch {
   /// Applies one element inline (synchronous mode), routing through the
   /// dense remap. Catches worker-model exceptions and poisons the shard,
   /// exactly like the async apply loop.
-  void ApplySyncElement(const stream::Element& e);
+  void ApplySyncElement(const stream::Element& e) VOS_EXCLUDES(mu_);
   /// Marks `shard` failed (first error wins, sticky) and flips the
-  /// degraded flag. Requires mu_; does NOT touch rings (the consumer
-  /// side discards a poisoned shard's backlog on pop, or the kill /
-  /// reclaim paths drain it) and does NOT wake waiters — call
-  /// WakeAllWaiters() after releasing mu_.
-  void PoisonShardLocked(uint32_t shard, Status status);
+  /// degraded flag. Does NOT touch rings (the consumer side discards a
+  /// poisoned shard's backlog on pop, or the kill / reclaim paths drain
+  /// it) and does NOT wake waiters — call WakeAllWaiters() after
+  /// releasing mu_.
+  void PoisonShardLocked(uint32_t shard, Status status) VOS_REQUIRES(mu_);
   /// Wakes every parked producer, every parked worker and every flush
   /// waiter (cold paths only: poison, budget, stop). Must be called
   /// WITHOUT mu_ held — park mutexes are never nested inside mu_.
-  void WakeAllWaiters();
+  void WakeAllWaiters() VOS_EXCLUDES(mu_);
   /// True iff `shard` is poisoned (locks mu_; call only behind a
   /// degraded_ fast-path check).
-  bool ShardPoisoned(uint32_t shard) const;
+  bool ShardPoisoned(uint32_t shard) const VOS_EXCLUDES(mu_);
   /// Reclaims lane (producer, shard)'s ring after its owning worker died:
   /// a push can race a dying worker's final drain, and the seq_cst fence
   /// pairing guarantees the racing producer then observes degraded_ and
   /// calls this. Drains under mu_ (the dead worker no longer touches the
   /// ring; mu_ serializes against Restore and other reclaims).
-  void ReclaimDeadLane(unsigned producer, uint32_t shard);
-  Status IngestStatusLocked() const;  // requires mu_
+  void ReclaimDeadLane(unsigned producer, uint32_t shard) VOS_EXCLUDES(mu_);
+  Status IngestStatusLocked() const VOS_REQUIRES(mu_);
   /// The one routing pass: splits [elements, elements+count) into
   /// per-shard sub-batches rewritten to shard-local coordinates.
   /// `per_shard` must hold num_shards() empty buckets.
@@ -416,29 +419,30 @@ class ShardedVosSketch {
                       std::vector<std::vector<stream::Element>>* per_shard)
       const;
   void EnqueueSubBatch(unsigned producer, uint32_t shard,
-                       std::vector<stream::Element> batch);
+                       std::vector<stream::Element> batch) VOS_EXCLUDES(mu_);
   /// Spin-then-park push: bounded spin on the full ring, then park on the
   /// lane's condvar until the worker pops, the shard is poisoned, or the
   /// enqueue deadline expires. Returns false when the batch was NOT
   /// pushed (caller drops it; on deadline the shard has been poisoned).
   bool PushWithBackPressure(IngestLane& lane, uint32_t shard,
-                            std::vector<stream::Element>& batch);
-  void FlushPendingBuffer(unsigned producer);
+                            std::vector<stream::Element>& batch)
+      VOS_EXCLUDES(mu_);
+  void FlushPendingBuffer(unsigned producer) VOS_EXCLUDES(mu_);
   /// Waits until lanes [first, last) are drained (completed ==
   /// ring.pushed()), with the config flush deadline when `use_timeout`.
   Status WaitLanesDrained(size_t first, size_t last, bool use_timeout,
-                          const char* what);
+                          const char* what) VOS_EXCLUDES(mu_);
   /// Signals lane completion: bumps the lane epoch and wakes any flush
   /// waiter (fence-paired, notify only when someone waits).
-  void CompleteLaneBatch(IngestLane& lane);
+  void CompleteLaneBatch(IngestLane& lane) VOS_EXCLUDES(mu_);
   void WorkerLoop(unsigned worker);
   /// Worker-thread prologue: optional NUMA pinning, then first-touch
   /// construction of the worker's own shards and ring slot arrays.
-  void WorkerInit(unsigned worker);
+  void WorkerInit(unsigned worker) VOS_EXCLUDES(mu_);
   /// Pops one batch from the worker's lanes (round-robin), parking when
   /// every owned ring is empty. False = stopping and fully drained.
   bool PopNextBatch(unsigned worker, size_t* cursor, size_t* lane_index,
-                    std::vector<stream::Element>* batch);
+                    std::vector<stream::Element>* batch) VOS_EXCLUDES(mu_);
 
   ShardedVosConfig config_;
   stream::ShardRouter router_;
@@ -461,12 +465,18 @@ class ShardedVosSketch {
   /// the last Restore): the per-lane ingest watermarks. Written only by
   /// lane p's thread (single-writer by construction); relaxed loads give
   /// HasPendingIngest an advisory view, stable reads require a quiesced
-  /// pipeline.
+  /// pipeline. Ordering: relaxed everywhere — the single writer needs no
+  /// RMW, and every read that must be exact (watermarks at checkpoint)
+  /// is specified only after the Flush barrier, whose seq_cst epoch
+  /// fences already publish these counters.
   std::vector<std::atomic<uint64_t>> accepted_;
   /// dispatched_[p] = elements that LEFT lane p's pending buffer
   /// (pushed to rings, applied inline, or dropped). Single-writer like
   /// accepted_; accepted − dispatched = the lane's buffered backlog, so
-  /// HasPendingIngest needs no mirror counters and no lock.
+  /// HasPendingIngest needs no mirror counters and no lock. Ordering:
+  /// relaxed for the same reason as accepted_ — a stale read can only
+  /// make HasPendingIngest report a transient "pending", never hide one
+  /// from a quiesced reader.
   std::vector<std::atomic<uint64_t>> dispatched_;
 
   /// Producer-major: lanes_[LaneIndex(p, s)] is lane p's shard-s ring.
@@ -486,9 +496,9 @@ class ShardedVosSketch {
   /// shards_ by the constructor once every worker finished WorkerInit.
   std::vector<std::optional<VosSketch>> staged_shards_;
   std::atomic<unsigned> init_remaining_{0};
-  bool start_ = false;  // guarded by init_mu_
-  std::mutex init_mu_;
-  std::condition_variable init_cv_;
+  Mutex init_mu_;
+  bool start_ VOS_GUARDED_BY(init_mu_) = false;
+  CondVar init_cv_;
 
   // --- Flush barrier ----------------------------------------------------
   /// Number of threads inside WaitLanesDrained. Workers check it after
@@ -496,33 +506,47 @@ class ShardedVosSketch {
   /// a notify — the per-batch cost of an idle barrier is one relaxed
   /// load.
   std::atomic<uint32_t> flush_waiters_{0};
-  std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
+  Mutex flush_mu_;
+  CondVar flush_cv_;
 
   // --- Failure state ----------------------------------------------------
   /// Sticky per-shard health; non-OK = poisoned (worker exception, kill,
-  /// lane starvation). First error wins. Guarded by mu_.
-  std::vector<Status> shard_status_;
+  /// lane starvation). First error wins.
+  std::vector<Status> shard_status_ VOS_GUARDED_BY(mu_);
   /// Sticky memory-budget rejection (ResourceExhausted) if the queued
-  /// backlog ever crossed memory_budget_bits. Guarded by mu_.
-  Status budget_status_;
+  /// backlog ever crossed memory_budget_bits.
+  Status budget_status_ VOS_GUARDED_BY(mu_);
   /// Fast-path mirror of "any sticky status is non-OK": one relaxed load
   /// keeps the healthy hot paths at their measured cost.
   std::atomic<bool> degraded_{false};
   /// Elements rejected (poisoned shard / enqueue deadline / budget).
+  /// Ordering: relaxed fetch_adds — a pure monotonic statistic; the only
+  /// exact read (dropped_elements() after a failed Flush) happens after
+  /// the barrier has ordered every drop site.
   std::atomic<uint64_t> dropped_elements_{0};
   /// Bytes held by queued-but-unapplied sub-batches (budget accounting):
   /// charged before the push, released after apply / discard / reject,
-  /// so in-flight batches stay inside the ceiling.
+  /// so in-flight batches stay inside the ceiling. Ordering: relaxed
+  /// RMWs suffice — the ceiling comes from the charge-BEFORE-push
+  /// protocol (each lane's charge is visible in its own fetch_add return
+  /// before the bytes exist in any ring), not from inter-thread
+  /// ordering; no other memory is published under this counter.
   std::atomic<size_t> queued_bytes_{0};
   /// Static (arrays + tables) footprint in bits, computed once.
   size_t static_memory_bits_ = 0;
   /// worker_dead_[w]: the worker thread exited via an injected kill; its
-  /// shards cannot ingest again in this process. Guarded by mu_.
-  std::vector<uint8_t> worker_dead_;
+  /// shards cannot ingest again in this process.
+  std::vector<uint8_t> worker_dead_ VOS_GUARDED_BY(mu_);
   /// Serializes the cold failure/restore state above. NEVER taken on the
-  /// healthy hot path and never held while taking a park mutex.
-  mutable std::mutex mu_;
+  /// healthy hot path and never held while taking a park mutex — the
+  /// PR 8 "drain under mu_" rule. The park mutexes live in lane/slot
+  /// arrays, which VOS_ACQUIRED_AFTER cannot name, so their side of the
+  /// order is enforced as VOS_EXCLUDES(mu_) on every function that
+  /// acquires one (WakeAllWaiters, PushWithBackPressure, EnqueueSubBatch,
+  /// PopNextBatch, CompleteLaneBatch, WaitLanesDrained); the statically
+  /// nameable peers are pinned here so any future nesting has a declared
+  /// direction the analysis can check.
+  mutable Mutex mu_ VOS_ACQUIRED_AFTER(init_mu_, flush_mu_);
 };
 
 }  // namespace vos::core

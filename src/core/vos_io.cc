@@ -585,7 +585,7 @@ Status ShardedCheckpointIo::Restore(ShardedVosSketch* sketch,
   // pipeline lock. Element-wise moves keep the shards_ vector storage
   // (external references to shard(s) stay valid).
   {
-    std::lock_guard<std::mutex> lock(sketch->mu_);
+    MutexLock lock(&sketch->mu_);
     for (uint32_t s = 0; s < live_shards; ++s) {
       sketch->shards_[s] = std::move(*staged[s]);
     }

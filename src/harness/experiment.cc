@@ -144,6 +144,10 @@ StatusOr<double> MeasureUpdateRuntime(const stream::GraphStream& stream,
         .push_back(elements[t]);
   }
   WallTimer timer;
+  // Per-lane flush statuses, checked after join: a lane's
+  // DeadlineExceeded is not sticky, so dropping it here could let the
+  // final global FlushIngest report OK over a silently degraded lane.
+  std::vector<Status> lane_status(producers);
   {
     std::vector<std::thread> threads;
     threads.reserve(producers);
@@ -160,10 +164,15 @@ StatusOr<double> MeasureUpdateRuntime(const stream::GraphStream& stream,
           method->UpdateBatch(lane.data() + t,
                               std::min(batch, lane.size() - t), p);
         }
-        method->FlushIngest(p);
+        lane_status[p] = method->FlushIngest(p);
       });
     }
     for (std::thread& t : threads) t.join();
+  }
+  for (unsigned p = 0; p < producers; ++p) {
+    VOS_CHECK(lane_status[p].ok()) << method->Name() << "producer" << p
+                                   << "flush degraded:"
+                                   << lane_status[p].ToString();
   }
   const Status flushed = method->FlushIngest();
   VOS_CHECK(flushed.ok())

@@ -104,7 +104,7 @@ TEST_P(MethodConformanceTest, MemoryIsPositiveAndUpdateIndependent) {
   for (ItemId i = 0; i < 500; ++i) {
     method->Update({static_cast<UserId>(i % 8), i, Action::kInsert});
   }
-  method->FlushIngest();
+  ASSERT_TRUE(method->FlushIngest().ok());
   EXPECT_EQ(method->MemoryBits(), before)
       << "sketches must be fixed-size (that is the point)";
 }
@@ -126,7 +126,7 @@ TEST_P(MethodConformanceTest, IdenticalLargeSetsScoreHigh) {
     method->Update({0, i, Action::kInsert});
     method->Update({1, i, Action::kInsert});
   }
-  method->FlushIngest();
+  ASSERT_TRUE(method->FlushIngest().ok());
   const PairEstimate est = method->EstimatePair(0, 1);
   EXPECT_GT(est.jaccard, 0.8);
   EXPECT_GT(est.common, 256.0);
@@ -138,7 +138,7 @@ TEST_P(MethodConformanceTest, DisjointLargeSetsScoreLow) {
     method->Update({0, i, Action::kInsert});
     method->Update({1, 50000 + i, Action::kInsert});
   }
-  method->FlushIngest();
+  ASSERT_TRUE(method->FlushIngest().ok());
   const PairEstimate est = method->EstimatePair(0, 1);
   EXPECT_LT(est.jaccard, 0.2);
   EXPECT_LT(est.common, 80.0);
@@ -157,7 +157,7 @@ TEST_P(MethodConformanceTest, EstimatesStayInFeasibleRange) {
     if (e.action == Action::kInsert) ++cards[e.user];
     else --cards[e.user];
   }
-  method->FlushIngest();
+  ASSERT_TRUE(method->FlushIngest().ok());
   for (UserId u = 0; u < 8; ++u) {
     for (UserId v = u + 1; v < 8; ++v) {
       const PairEstimate est = method->EstimatePair(u, v);
@@ -183,7 +183,7 @@ TEST_P(MethodConformanceTest, FullChurnReturnsToZero) {
     method->Update({0, i, Action::kDelete});
     method->Update({1, i, Action::kDelete});
   }
-  method->FlushIngest();
+  ASSERT_TRUE(method->FlushIngest().ok());
   const PairEstimate est = method->EstimatePair(0, 1);
   EXPECT_DOUBLE_EQ(est.common, 0.0);
 }
@@ -194,7 +194,7 @@ TEST_P(MethodConformanceTest, PrepareQueryDoesNotChangeEstimates) {
     method->Update({0, i, Action::kInsert});
     method->Update({1, i < 150 ? i : i + 9000, Action::kInsert});
   }
-  method->FlushIngest();
+  ASSERT_TRUE(method->FlushIngest().ok());
   const PairEstimate plain = method->EstimatePair(0, 1);
   method->PrepareQuery({0, 1});
   const PairEstimate cached = method->EstimatePair(0, 1);
@@ -215,8 +215,8 @@ TEST_P(MethodConformanceTest, DeterministicAcrossInstances) {
     a->Update(e);
     b->Update(e);
   }
-  a->FlushIngest();
-  b->FlushIngest();
+  ASSERT_TRUE(a->FlushIngest().ok());
+  ASSERT_TRUE(b->FlushIngest().ok());
   for (UserId u = 0; u < 6; ++u) {
     for (UserId v = u + 1; v < 6; ++v) {
       EXPECT_DOUBLE_EQ(a->EstimatePair(u, v).common,

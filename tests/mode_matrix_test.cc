@@ -148,8 +148,8 @@ TEST_P(ShardedModeMatrixTest, PipelineModeDoesNotChangeEstimates) {
     method->Update(e);
     reference->Update(e);
   }
-  method->FlushIngest();
-  reference->FlushIngest();
+  ASSERT_TRUE(method->FlushIngest().ok());
+  ASSERT_TRUE(reference->FlushIngest().ok());
   for (UserId u = 0; u < 12; ++u) {
     for (UserId v = u + 1; v < 12; ++v) {
       const PairEstimate got = method->EstimatePair(u, v);
@@ -170,7 +170,7 @@ TEST_P(ShardedModeMatrixTest, TracksPlantedOverlap) {
     method->Update({0, i, Action::kInsert});
     method->Update({1, i < 200 ? i : i + 50000, Action::kInsert});
   }
-  method->FlushIngest();
+  ASSERT_TRUE(method->FlushIngest().ok());
   const PairEstimate est = method->EstimatePair(0, 1);
   EXPECT_NEAR(est.common, 200.0, 60.0)
       << "shards=" << shards << " threads=" << threads;

@@ -383,7 +383,7 @@ TEST(ShardedVosSketchTest, AsyncPipelineMatchesSynchronousForAllThreadCounts) {
       const size_t split = elements.size() / 3;
       for (size_t t = 0; t < split; ++t) sharded.Update(elements[t]);
       sharded.UpdateBatch(elements.data() + split, elements.size() - split);
-      sharded.Flush();
+      ASSERT_TRUE(sharded.Flush().ok());
       EXPECT_FALSE(sharded.HasPendingIngest());
       for (uint32_t s = 0; s < shards; ++s) {
         EXPECT_TRUE(sharded.shard(s).array() == reference.shard(s).array())
@@ -439,11 +439,11 @@ TEST(ShardedVosSketchTest, MultiProducerMatrixMatchesSynchronousRouting) {
               sketch.UpdateBatch(lane.data() + t,
                                  std::min(chunk, lane.size() - t), p);
             }
-            sketch.FlushProducer(p);
+            EXPECT_TRUE(sketch.FlushProducer(p).ok());
           });
         }
         for (std::thread& t : threads) t.join();
-        sketch.Flush();
+        ASSERT_TRUE(sketch.Flush().ok());
         EXPECT_FALSE(sketch.HasPendingIngest());
         ExpectStateIdentical(sketch, reference,
                              "producers=" + std::to_string(producers) +
@@ -498,15 +498,17 @@ TEST(ShardedVosSketchTest, FlushProducerUnderBackPressure) {
         sketch.Update(lane[t], p);
         // A mid-stream flush per ~quarter: the lane barrier must complete
         // while the other three lanes keep their queues saturated.
-        if (t % (lane.size() / 4 + 1) == 0) sketch.FlushProducer(p);
+        if (t % (lane.size() / 4 + 1) == 0) {
+          EXPECT_TRUE(sketch.FlushProducer(p).ok());
+        }
       }
-      sketch.FlushProducer(p);
+      EXPECT_TRUE(sketch.FlushProducer(p).ok());
     });
   }
   for (std::thread& t : threads) t.join();
   stop_polling.store(true);
   monitor.join();
-  sketch.Flush();
+  ASSERT_TRUE(sketch.Flush().ok());
   EXPECT_FALSE(sketch.HasPendingIngest());
   ExpectStateIdentical(sketch, reference, "flush-under-back-pressure");
 }
@@ -553,7 +555,7 @@ TEST(ShardedVosMethodTest, CachedAndUncachedEstimatesAgree) {
   ShardedVosConfig config = TestConfig(4, 2);
   ShardedVosMethod method(config, users);
   method.UpdateBatch(elements.data(), elements.size());
-  method.FlushIngest();
+  ASSERT_TRUE(method.FlushIngest().ok());
 
   std::vector<UserId> tracked;
   for (UserId u = 0; u < users; u += 2) tracked.push_back(u);
@@ -590,7 +592,7 @@ TEST(ShardedVosMethodTest, ProducerLaneIngestMatchesSingleProducer) {
 
   ShardedVosMethod reference(TestConfig(4, 0), users);
   reference.UpdateBatch(elements.data(), elements.size());
-  reference.FlushIngest();
+  ASSERT_TRUE(reference.FlushIngest().ok());
 
   ShardedVosMethod method(config, users);
   SimilarityMethod& base = method;  // exercise the virtual dispatch
@@ -600,11 +602,11 @@ TEST(ShardedVosMethodTest, ProducerLaneIngestMatchesSingleProducer) {
   for (unsigned p = 0; p < 3; ++p) {
     threads.emplace_back([&, p] {
       base.UpdateBatch(lanes[p].data(), lanes[p].size(), p);
-      base.FlushIngest(p);
+      EXPECT_TRUE(base.FlushIngest(p).ok());
     });
   }
   for (std::thread& t : threads) t.join();
-  base.FlushIngest();
+  ASSERT_TRUE(base.FlushIngest().ok());
 
   for (UserId u = 0; u < users; ++u) {
     for (UserId v = u + 1; v < users; ++v) {
