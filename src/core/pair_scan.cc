@@ -274,18 +274,26 @@ void ScanBandedChunk(const Pass& pass, const ScanParams& params,
 }  // namespace
 
 BandingTable::BandingTable(const DigestMatrix& matrix, uint32_t bands,
-                           uint32_t rows_per_band) {
+                           uint32_t rows_per_band)
+    : BandingTable(matrix, bands, rows_per_band, nullptr, 0) {}
+
+BandingTable::BandingTable(const DigestMatrix& matrix, uint32_t bands,
+                           uint32_t rows_per_band,
+                           const uint32_t* stable_of_row,
+                           uint32_t max_bucket) {
   VOS_CHECK(rows_per_band >= 1 && rows_per_band <= 64)
       << "banding_rows_per_band must be in [1, 64], got" << rows_per_band;
   VOS_CHECK(matrix.rows() <= uint64_t{0xffffffff})
       << "banding rows are uint32";
   rows_ = matrix.rows();
   rows_per_band_ = rows_per_band;
+  max_bucket_ = max_bucket;
   // Bands must fit the digest: clamp instead of failing so an
   // over-ambitious request degrades to fewer bands (lower recall), never
   // to out-of-range reads.
   bands_ = std::min(bands, matrix.k() / rows_per_band);
   if (bands_ == 0 || rows_ == 0) return;
+  row_of_stable_.resize(rows_);
   entries_.resize(static_cast<size_t>(bands_) * rows_);
   // Rows-outer: one band_keys kernel call derives all of a row's keys
   // (vectorized multi-band gather over the packed bits; bands_ ·
@@ -294,17 +302,75 @@ BandingTable::BandingTable(const DigestMatrix& matrix, uint32_t bands,
   const kernels::KernelTable& kernel = kernels::Active();
   std::vector<uint64_t> keys(bands_);
   for (size_t r = 0; r < rows_; ++r) {
+    const uint32_t stable =
+        stable_of_row == nullptr ? static_cast<uint32_t>(r) : stable_of_row[r];
+    row_of_stable_[stable] = static_cast<uint32_t>(r);
     kernel.band_keys(matrix.Row(r), matrix.words_per_row(), bands_,
                      rows_per_band_, keys.data());
     for (uint32_t b = 0; b < bands_; ++b) {
-      entries_[static_cast<size_t>(b) * rows_ + r] = {
-          keys[b], static_cast<uint32_t>(r)};
+      entries_[static_cast<size_t>(b) * rows_ + r] = {keys[b], stable};
     }
   }
   for (uint32_t b = 0; b < bands_; ++b) {
     std::pair<uint64_t, uint32_t>* seg =
         entries_.data() + static_cast<size_t>(b) * rows_;
     std::sort(seg, seg + rows_);
+  }
+}
+
+void BandingTable::Patch(const DigestMatrix& matrix,
+                         const uint32_t* stable_of_row,
+                         const std::vector<uint8_t>& affected_by_stable) {
+  VOS_CHECK(matrix.rows() == rows_) << "Patch cannot change the row set";
+  VOS_CHECK(affected_by_stable.size() == rows_)
+      << "affected flags must cover every stable id";
+  if (empty()) return;
+  // The cardinality re-sort permutes rows even for clean digests; only
+  // the translation changes for them, never their (key, stable) entries.
+  for (size_t p = 0; p < rows_; ++p) {
+    const uint32_t stable =
+        stable_of_row == nullptr ? static_cast<uint32_t>(p) : stable_of_row[p];
+    row_of_stable_[stable] = static_cast<uint32_t>(p);
+  }
+  std::vector<uint32_t> affected_stables;
+  for (size_t s = 0; s < rows_; ++s) {
+    if (affected_by_stable[s] != 0) affected_stables.push_back(
+        static_cast<uint32_t>(s));
+  }
+  if (affected_stables.empty()) return;
+  // Re-key the affected rows only (one band_keys call each), band-major
+  // so each band's fresh entries sort as one contiguous run.
+  const kernels::KernelTable& kernel = kernels::Active();
+  const size_t a_count = affected_stables.size();
+  std::vector<uint64_t> keys(bands_);
+  std::vector<std::pair<uint64_t, uint32_t>> fresh(
+      static_cast<size_t>(bands_) * a_count);
+  for (size_t i = 0; i < a_count; ++i) {
+    const uint32_t stable = affected_stables[i];
+    kernel.band_keys(matrix.Row(row_of_stable_[stable]),
+                     matrix.words_per_row(), bands_, rows_per_band_,
+                     keys.data());
+    for (uint32_t b = 0; b < bands_; ++b) {
+      fresh[static_cast<size_t>(b) * a_count + i] = {keys[b], stable};
+    }
+  }
+  // Per band: drop the affected entries (order-preserving), sort the A
+  // fresh ones, merge. Survivor keys are unchanged (their digest bytes
+  // are unchanged by contract), so the merged segment is the exact
+  // (key, stable) order a full re-sort would produce.
+  std::vector<std::pair<uint64_t, uint32_t>> merged(rows_);
+  for (uint32_t b = 0; b < bands_; ++b) {
+    std::pair<uint64_t, uint32_t>* seg =
+        entries_.data() + static_cast<size_t>(b) * rows_;
+    std::pair<uint64_t, uint32_t>* fresh_seg =
+        fresh.data() + static_cast<size_t>(b) * a_count;
+    std::sort(fresh_seg, fresh_seg + a_count);
+    std::pair<uint64_t, uint32_t>* keep_end = std::remove_if(
+        seg, seg + rows_, [&](const std::pair<uint64_t, uint32_t>& e) {
+          return affected_by_stable[e.second] != 0;
+        });
+    std::merge(seg, keep_end, fresh_seg, fresh_seg + a_count, merged.begin());
+    std::copy(merged.begin(), merged.end(), seg);
   }
 }
 
@@ -318,11 +384,21 @@ std::vector<std::pair<uint32_t, uint32_t>> BandingTable::TriangleCandidates()
     while (i < rows_) {
       size_t j = i + 1;
       while (j < rows_ && seg[j].first == seg[i].first) ++j;
-      // Segment entries tie-break by row, so x < y implies row_x < row_y:
-      // every emitted pair is already canonically (p < q) oriented.
-      for (size_t x = i; x < j; ++x) {
-        for (size_t y = x + 1; y < j; ++y) {
-          packed.push_back((uint64_t{seg[x].second} << 32) | seg[y].second);
+      // Degenerate-bucket guard: enumerate within max_bucket-sized
+      // cohorts of the run only, so one giant bucket (all-zero digests)
+      // stays O(run · cap) instead of O(run²).
+      const size_t cap = max_bucket_ == 0 ? j - i : max_bucket_;
+      for (size_t c = i; c < j; c += cap) {
+        const size_t ce = std::min(j, c + cap);
+        for (size_t x = c; x < ce; ++x) {
+          const uint32_t rx = row_of_stable_[seg[x].second];
+          for (size_t y = x + 1; y < ce; ++y) {
+            // Stable order inside a bucket is not row order: canonicalize
+            // to (p < q) so dedup and the triangle contract hold.
+            const uint32_t ry = row_of_stable_[seg[y].second];
+            packed.push_back((uint64_t{std::min(rx, ry)} << 32) |
+                             std::max(rx, ry));
+          }
         }
       }
       i = j;
@@ -332,6 +408,68 @@ std::vector<std::pair<uint32_t, uint32_t>> BandingTable::TriangleCandidates()
   UnpackSortedUnique(&packed, &out);
   return out;
 }
+
+size_t BandingTable::TriangleCandidateBound() const {
+  size_t total = 0;
+  for (uint32_t b = 0; b < bands_; ++b) {
+    const std::pair<uint64_t, uint32_t>* seg =
+        entries_.data() + static_cast<size_t>(b) * rows_;
+    size_t i = 0;
+    while (i < rows_) {
+      size_t j = i + 1;
+      while (j < rows_ && seg[j].first == seg[i].first) ++j;
+      const size_t len = j - i;
+      const size_t cap = max_bucket_ == 0 ? len : max_bucket_;
+      const size_t full = len / cap;
+      const size_t rem = len % cap;
+      total += full * (cap * (cap - 1) / 2) + rem * (rem - 1) / 2;
+      i = j;
+    }
+  }
+  return total;
+}
+
+size_t BandingTable::MaxBucketRun() const {
+  size_t longest = 0;
+  for (uint32_t b = 0; b < bands_; ++b) {
+    const std::pair<uint64_t, uint32_t>* seg =
+        entries_.data() + static_cast<size_t>(b) * rows_;
+    size_t i = 0;
+    while (i < rows_) {
+      size_t j = i + 1;
+      while (j < rows_ && seg[j].first == seg[i].first) ++j;
+      longest = std::max(longest, j - i);
+      i = j;
+    }
+  }
+  return longest;
+}
+
+namespace {
+
+/// Shared shape of the capped rectangle enumeration: visits the aligned
+/// guard-cohort pairs of one equal-key run pair and hands each cohort
+/// cross product to `emit(x_begin, x_end, y_begin, y_end)`. With both
+/// caps off this is the single full cross product.
+template <typename Emit>
+void ForEachRectCohortPair(size_t i, size_t i2, size_t cap_a, size_t j,
+                           size_t j2, size_t cap_b, const Emit& emit) {
+  const size_t len_a = i2 - i;
+  const size_t len_b = j2 - j;
+  const size_t eff_a = cap_a == 0 ? len_a : cap_a;
+  const size_t eff_b = cap_b == 0 ? len_b : cap_b;
+  const size_t chunks_a = (len_a + eff_a - 1) / eff_a;
+  const size_t chunks_b = (len_b + eff_b - 1) / eff_b;
+  const size_t chunks = std::max(chunks_a, chunks_b);
+  for (size_t t = 0; t < chunks; ++t) {
+    const size_t ca = std::min(t, chunks_a - 1);
+    const size_t cb = std::min(t, chunks_b - 1);
+    emit(i + ca * eff_a, std::min(i2, i + (ca + 1) * eff_a), j + cb * eff_b,
+         std::min(j2, j + (cb + 1) * eff_b));
+  }
+}
+
+}  // namespace
 
 std::vector<std::pair<uint32_t, uint32_t>> BandingTable::RectangleCandidates(
     const BandingTable& a, const BandingTable& b) {
@@ -354,11 +492,17 @@ std::vector<std::pair<uint32_t, uint32_t>> BandingTable::RectangleCandidates(
         while (i2 < a.rows_ && sa[i2].first == sa[i].first) ++i2;
         size_t j2 = j + 1;
         while (j2 < b.rows_ && sb[j2].first == sb[j].first) ++j2;
-        for (size_t x = i; x < i2; ++x) {
-          for (size_t y = j; y < j2; ++y) {
-            packed.push_back((uint64_t{sa[x].second} << 32) | sb[y].second);
-          }
-        }
+        ForEachRectCohortPair(
+            i, i2, a.max_bucket_, j, j2, b.max_bucket_,
+            [&](size_t xb, size_t xe, size_t yb, size_t ye) {
+              for (size_t x = xb; x < xe; ++x) {
+                const uint64_t row_a = a.row_of_stable_[sa[x].second];
+                for (size_t y = yb; y < ye; ++y) {
+                  packed.push_back((row_a << 32) |
+                                   b.row_of_stable_[sb[y].second]);
+                }
+              }
+            });
         i = i2;
         j = j2;
       }
@@ -367,6 +511,62 @@ std::vector<std::pair<uint32_t, uint32_t>> BandingTable::RectangleCandidates(
   std::vector<std::pair<uint32_t, uint32_t>> out;
   UnpackSortedUnique(&packed, &out);
   return out;
+}
+
+size_t BandingTable::RectangleCandidateBound(const BandingTable& a,
+                                             const BandingTable& b) {
+  VOS_CHECK(a.bands_ == b.bands_ && a.rows_per_band_ == b.rows_per_band_)
+      << "banded rectangle needs identically banded sides";
+  size_t total = 0;
+  for (uint32_t band = 0; band < a.bands_; ++band) {
+    const std::pair<uint64_t, uint32_t>* sa =
+        a.entries_.data() + static_cast<size_t>(band) * a.rows_;
+    const std::pair<uint64_t, uint32_t>* sb =
+        b.entries_.data() + static_cast<size_t>(band) * b.rows_;
+    size_t i = 0, j = 0;
+    while (i < a.rows_ && j < b.rows_) {
+      if (sa[i].first < sb[j].first) {
+        ++i;
+      } else if (sb[j].first < sa[i].first) {
+        ++j;
+      } else {
+        size_t i2 = i + 1;
+        while (i2 < a.rows_ && sa[i2].first == sa[i].first) ++i2;
+        size_t j2 = j + 1;
+        while (j2 < b.rows_ && sb[j2].first == sb[j].first) ++j2;
+        ForEachRectCohortPair(i, i2, a.max_bucket_, j, j2, b.max_bucket_,
+                              [&](size_t xb, size_t xe, size_t yb, size_t ye) {
+                                total += (xe - xb) * (ye - yb);
+                              });
+        i = i2;
+        j = j2;
+      }
+    }
+  }
+  return total;
+}
+
+void BandingTable::AppendRowCandidates(const uint64_t* row, size_t words,
+                                       std::vector<uint32_t>* out) const {
+  if (empty()) return;
+  const kernels::KernelTable& kernel = kernels::Active();
+  std::vector<uint64_t> keys(bands_);
+  kernel.band_keys(row, words, bands_, rows_per_band_, keys.data());
+  for (uint32_t b = 0; b < bands_; ++b) {
+    const std::pair<uint64_t, uint32_t>* seg =
+        entries_.data() + static_cast<size_t>(b) * rows_;
+    const std::pair<uint64_t, uint32_t>* lo = std::lower_bound(
+        seg, seg + rows_, std::pair<uint64_t, uint32_t>{keys[b], 0});
+    const std::pair<uint64_t, uint32_t>* hi = std::upper_bound(
+        lo, seg + rows_,
+        std::pair<uint64_t, uint32_t>{keys[b], uint32_t{0xffffffff}});
+    const size_t run = static_cast<size_t>(hi - lo);
+    const size_t take =
+        max_bucket_ == 0 ? run : std::min<size_t>(run, max_bucket_);
+    for (size_t t = 0; t < take; ++t) {
+      out->push_back(row_of_stable_[lo[t].second]);
+    }
+  }
 }
 
 std::vector<scan::Pair> RunPasses(const std::vector<Pass>& passes,

@@ -81,41 +81,116 @@ struct MatrixView {
 /// built over different shards' snapshots are join-compatible (the
 /// digest bit domain Ô_u is shared across shards). Built at
 /// Rebuild/Refresh time by SimilarityIndex when banding is enabled.
+///
+/// Entries are keyed by STABLE row id, not by matrix row: the caller may
+/// supply a `stable_of_row` permutation (SimilarityIndex passes its
+/// candidate indexes) and the table keeps a stable→row translation.
+/// Because a stable id's key depends only on its digest content, a
+/// cardinality re-sort that merely permutes rows leaves every entry of an
+/// unchanged digest byte-identical — which is what lets Patch() update
+/// the table incrementally after RefreshDirty instead of re-sorting
+/// O(bands · n log n) from scratch.
+///
+/// Degenerate-bucket guard: sparse snapshots (many all-zero digests) can
+/// put ~n rows in one bucket and make candidate generation quadratic.
+/// With `max_bucket` > 0 every key run is split into consecutive
+/// max_bucket-sized cohorts and pairs are enumerated within (triangle) /
+/// across aligned (rectangle) cohorts only, bounding candidates by
+/// O(run · max_bucket) per run. The cap trades recall (pairs straddling
+/// a cohort boundary are missed) for the subquadratic bound; 0 disables
+/// it (the raw constructor's default, so brute-force reference tests see
+/// the uncapped semantics).
 class BandingTable {
  public:
   BandingTable() = default;
 
-  /// Indexes every row of `matrix`. `rows_per_band` ∈ [1, 64]; `bands`
-  /// is clamped so bands · rows_per_band ≤ k (at least one band fits
-  /// because rows_per_band ≤ 64 ≤ k for any real sketch).
+  /// Indexes every row of `matrix` with identity stable ids and no
+  /// bucket cap. `rows_per_band` ∈ [1, 64]; `bands` is clamped so
+  /// bands · rows_per_band ≤ k (at least one band fits because
+  /// rows_per_band ≤ 64 ≤ k for any real sketch).
   BandingTable(const DigestMatrix& matrix, uint32_t bands,
                uint32_t rows_per_band);
+
+  /// Full form: `stable_of_row` (may be null = identity) maps matrix row
+  /// p to its stable id — a permutation of [0, rows); `max_bucket` is
+  /// the degenerate-bucket guard (0 = uncapped).
+  BandingTable(const DigestMatrix& matrix, uint32_t bands,
+               uint32_t rows_per_band, const uint32_t* stable_of_row,
+               uint32_t max_bucket);
+
+  /// Incremental maintenance after RefreshDirty: re-keys only the rows
+  /// whose STABLE id is flagged in `affected_by_stable` (size rows) and
+  /// re-translates stable→row from the new `stable_of_row` permutation.
+  /// O(bands · (n + A log A)) for A affected rows, vs O(bands · n log n)
+  /// for a rebuild — and bit-identical to one: unaffected digests keep
+  /// their exact (key, stable) entries, and merging the re-keyed rows
+  /// back restores the same total (key, stable) order a full sort would
+  /// produce (asserted in tests/query_optimizer_test.cc).
+  void Patch(const DigestMatrix& matrix, const uint32_t* stable_of_row,
+             const std::vector<uint8_t>& affected_by_stable);
 
   uint32_t bands() const { return bands_; }
   uint32_t rows_per_band() const { return rows_per_band_; }
   size_t rows() const { return rows_; }
+  uint32_t max_bucket() const { return max_bucket_; }
   bool empty() const { return bands_ == 0 || rows_ == 0; }
 
-  /// All unordered row pairs (p < q) colliding in at least one band,
-  /// sorted ascending and deduplicated — the triangle pass's candidate
-  /// list. Complexity O(bands · rows log rows + candidates); identical
-  /// digests all land in one bucket, so degenerate snapshots (many
-  /// all-zero rows) can produce quadratically many candidates.
+  /// All unordered row pairs (p < q) colliding in at least one band —
+  /// within one guard cohort when max_bucket > 0 — sorted ascending and
+  /// deduplicated: the triangle pass's candidate list. Complexity
+  /// O(bands · rows + candidates) given the sorted segments.
   std::vector<std::pair<uint32_t, uint32_t>> TriangleCandidates() const;
 
   /// All (row of a, row of b) pairs colliding in at least one band —
   /// the rectangle pass's candidate list (merge-join per band; the two
-  /// tables must share bands()/rows_per_band()).
+  /// tables must share bands()/rows_per_band()). Either side's
+  /// max_bucket caps its cohorts.
   static std::vector<std::pair<uint32_t, uint32_t>> RectangleCandidates(
       const BandingTable& a, const BandingTable& b);
+
+  /// Candidate-pair count TriangleCandidates() would enumerate before
+  /// dedup — the optimizer's bucket-skew statistic, O(bands · runs)
+  /// closed-form arithmetic, no materialization.
+  size_t TriangleCandidateBound() const;
+
+  /// Rectangle twin of TriangleCandidateBound (pre-dedup count).
+  static size_t RectangleCandidateBound(const BandingTable& a,
+                                        const BandingTable& b);
+
+  /// Largest bucket (key run) across all bands — the raw skew statistic
+  /// the guard exists for.
+  size_t MaxBucketRun() const;
+
+  /// bands · rows: the entries a bucket walk / merge-join touches.
+  size_t entry_count() const { return entries_.size(); }
+
+  /// Appends the matrix rows sharing at least one band bucket with the
+  /// query digest `row` (`words` packed words, same geometry as the
+  /// indexed matrix) — the banded-TopK point lookup: per band one binary
+  /// search plus the bucket run, capped at max_bucket entries per run.
+  /// May contain duplicates and the query's own row; callers sort/unique
+  /// and filter.
+  void AppendRowCandidates(const uint64_t* row, size_t words,
+                           std::vector<uint32_t>* out) const;
+
+  /// Raw per-band segments of (key, stable id), band b owning
+  /// entries()[b·rows .. (b+1)·rows) sorted by (key, stable id) — the
+  /// patch-equivalence tests compare these against a fresh build.
+  const std::vector<std::pair<uint64_t, uint32_t>>& entries() const {
+    return entries_;
+  }
 
  private:
   uint32_t bands_ = 0;
   uint32_t rows_per_band_ = 0;
   size_t rows_ = 0;
-  /// Per-band segments of (key, row), each segment sorted by (key, row):
-  /// band b owns entries_[b·rows_ .. (b+1)·rows_).
+  /// Degenerate-bucket guard: cohort size cap per key run (0 = off).
+  uint32_t max_bucket_ = 0;
+  /// Per-band segments of (key, stable id), each segment sorted by
+  /// (key, stable id): band b owns entries_[b·rows_ .. (b+1)·rows_).
   std::vector<std::pair<uint64_t, uint32_t>> entries_;
+  /// row_of_stable_[stable id] = current matrix row (updated by Patch).
+  std::vector<uint32_t> row_of_stable_;
 };
 
 /// Everything the estimate/prefilter math shares across the passes of

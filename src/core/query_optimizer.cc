@@ -1,0 +1,332 @@
+#include "core/query_optimizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+#include "core/scan_common.h"
+
+namespace vos::core::optimizer {
+namespace {
+
+/// Keeps the probe loops observable so -O3 cannot fold them away.
+volatile uint64_t g_probe_sink = 0;
+
+uint64_t NextLcg(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return *state;
+}
+
+/// Runs `body` (which processes `units_per_call` units per call) until at
+/// least ~200 µs elapsed, returns seconds per unit. Geometric iteration
+/// growth keeps the probe short on fast kernels and honest on slow ones.
+template <typename Body>
+double SecondsPerUnit(double units_per_call, const Body& body) {
+  uint64_t iters = 16;
+  for (;;) {
+    WallTimer timer;
+    for (uint64_t it = 0; it < iters; ++it) body();
+    const double elapsed = timer.ElapsedSeconds();
+    if (elapsed >= 200e-6 || iters >= (uint64_t{1} << 22)) {
+      return elapsed / (static_cast<double>(iters) * units_per_call);
+    }
+    iters *= 4;
+  }
+}
+
+/// Microprobes one dispatch table: the 1×8 XOR+popcount kernel at two
+/// word counts (a two-point fit splits the marginal word cost from the
+/// fixed per-pair overhead), a pack-sort pass (the banded candidate
+/// list's dominant cost), and a linear run-detection walk (the banding
+/// bucket enumeration's per-entry cost).
+KernelCostModel ProbeLevel(const kernels::KernelTable& table) {
+  constexpr size_t kRows = 16;
+  constexpr size_t kWordsShort = 8;
+  constexpr size_t kWordsLong = 32;
+  std::vector<uint64_t> rows(kRows * kWordsLong);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (uint64_t& w : rows) w = NextLcg(&state);
+
+  const auto pair_seconds = [&](size_t words) {
+    return SecondsPerUnit(static_cast<double>((kRows - 8) * 8), [&] {
+      size_t out[8];
+      uint64_t sink = 0;
+      for (size_t r = 0; r + 8 < kRows; ++r) {
+        table.xor_popcount8(rows.data() + r * kWordsLong,
+                            rows.data() + (r + 1) * kWordsLong, kWordsLong,
+                            words, out);
+        sink += out[0] + out[7];
+      }
+      g_probe_sink = g_probe_sink + sink;
+    });
+  };
+  const double t_short = pair_seconds(kWordsShort);
+  const double t_long = pair_seconds(kWordsLong);
+
+  KernelCostModel costs;
+  costs.seconds_per_pair_word =
+      std::max((t_long - t_short) / (kWordsLong - kWordsShort), 1e-12);
+  // The fixed overhead can probe negative under timer noise; floor it at
+  // one word's cost so no plan ever looks free.
+  costs.seconds_per_pair = std::max(
+      t_short - costs.seconds_per_pair_word * kWordsShort,
+      costs.seconds_per_pair_word);
+
+  constexpr size_t kSortN = size_t{1} << 13;
+  std::vector<uint64_t> unsorted(kSortN);
+  for (uint64_t& v : unsorted) v = NextLcg(&state);
+  std::vector<uint64_t> scratch(kSortN);
+  costs.seconds_per_candidate =
+      SecondsPerUnit(static_cast<double>(kSortN), [&] {
+        scratch = unsorted;
+        std::sort(scratch.begin(), scratch.end());
+        g_probe_sink = g_probe_sink + scratch[0];
+      });
+  // scratch is now sorted; a run-detection walk over it prices the
+  // bucket-enumeration / merge-join entry cost.
+  costs.seconds_per_entry = SecondsPerUnit(static_cast<double>(kSortN), [&] {
+    uint64_t runs = 0;
+    for (size_t i = 1; i < kSortN; ++i) runs += scratch[i] != scratch[i - 1];
+    g_probe_sink = g_probe_sink + runs;
+  });
+  costs.level = table.level;
+  return costs;
+}
+
+constexpr size_t kNumLevels = 4;
+
+Mutex g_costs_mutex;
+bool g_probed[kNumLevels] VOS_GUARDED_BY(g_costs_mutex) = {};
+KernelCostModel g_costs[kNumLevels] VOS_GUARDED_BY(g_costs_mutex);
+bool g_override_set VOS_GUARDED_BY(g_costs_mutex) = false;
+KernelCostModel g_override VOS_GUARDED_BY(g_costs_mutex);
+
+}  // namespace
+
+const char* PlanModeName(PlanMode mode) {
+  switch (mode) {
+    case PlanMode::kAuto:
+      return "auto";
+    case PlanMode::kForceExact:
+      return "exact";
+    case PlanMode::kForceBanded:
+      return "banded";
+  }
+  return "auto";
+}
+
+const char* PlanKindName(PlanKind kind) {
+  return kind == PlanKind::kBanded ? "banded" : "exact";
+}
+
+bool ParsePlanMode(const char* s, PlanMode* out) {
+  if (s == nullptr) return false;
+  const std::string value(s);
+  if (value == "auto") {
+    *out = PlanMode::kAuto;
+  } else if (value == "exact") {
+    *out = PlanMode::kForceExact;
+  } else if (value == "banded") {
+    *out = PlanMode::kForceBanded;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+PlanMode EffectivePlanMode(PlanMode configured) {
+  const char* env = std::getenv("VOS_PLAN");
+  if (env == nullptr || env[0] == '\0') return configured;
+  PlanMode parsed;
+  if (ParsePlanMode(env, &parsed)) return parsed;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "vos: unknown VOS_PLAN value \"%s\" ignored "
+                 "(want auto | exact | banded)\n",
+                 env);
+  }
+  return configured;
+}
+
+const KernelCostModel& CalibratedCosts() {
+  const kernels::DispatchLevel level = kernels::ActiveLevel();
+  const size_t idx =
+      std::min<size_t>(static_cast<size_t>(level), kNumLevels - 1);
+  MutexLock lock(&g_costs_mutex);
+  if (g_override_set) return g_override;
+  if (!g_probed[idx]) {
+    const kernels::KernelTable* table = kernels::TableFor(level);
+    g_costs[idx] = ProbeLevel(table != nullptr ? *table : kernels::Active());
+    g_probed[idx] = true;
+  }
+  return g_costs[idx];
+}
+
+void SetCalibratedCostsForTest(const KernelCostModel* costs) {
+  MutexLock lock(&g_costs_mutex);
+  g_override_set = costs != nullptr;
+  if (costs != nullptr) g_override = *costs;
+}
+
+PassPlan ChoosePassPlan(const PassStats& stats, const KernelCostModel& costs,
+                        PlanMode mode) {
+  PassPlan plan;
+  const double per_pair =
+      static_cast<double>(stats.words_per_row) * costs.seconds_per_pair_word +
+      costs.seconds_per_pair;
+  plan.exact_cost = static_cast<double>(stats.exact_pairs) * per_pair;
+  if (!stats.banded_available) {
+    // Nothing to choose: a force-banded request degrades to exact rather
+    // than failing, so VOS_PLAN=banded is safe over banding-off configs.
+    plan.banded_cost = std::numeric_limits<double>::infinity();
+    plan.kind = PlanKind::kExact;
+    plan.forced = mode != PlanMode::kAuto;
+    return plan;
+  }
+  const double entry_walk =
+      static_cast<double>(stats.banded_entries) * costs.seconds_per_entry;
+  plan.banded_cost =
+      entry_walk +
+      static_cast<double>(stats.banded_candidates) *
+          (per_pair + costs.seconds_per_candidate) +
+      stats.dirty_fraction * entry_walk;
+  switch (mode) {
+    case PlanMode::kForceExact:
+      plan.kind = PlanKind::kExact;
+      plan.forced = true;
+      break;
+    case PlanMode::kForceBanded:
+      plan.kind = PlanKind::kBanded;
+      plan.forced = true;
+      break;
+    case PlanMode::kAuto:
+      plan.kind = plan.banded_cost < plan.exact_cost ? PlanKind::kBanded
+                                                     : PlanKind::kExact;
+      break;
+  }
+  return plan;
+}
+
+size_t TriangleWindowPairs(const uint32_t* cards, size_t n, double tau,
+                           bool prefilter) {
+  if (n < 2) return 0;
+  if (!prefilter) return n * (n - 1) / 2;
+  const double tau_frac = tau / (1.0 + tau);
+  size_t pairs = 0;
+  size_t end = 1;
+  // Window ends are monotone in p (a larger card admits every partner a
+  // smaller one does — scan::CardinalityFail is monotone), so the sweep
+  // is O(n) total: `end` only moves forward.
+  for (size_t p = 0; p + 1 < n; ++p) {
+    const double card_p = cards[p];
+    if (end < p + 1) end = p + 1;
+    while (end < n &&
+           !scan::CardinalityFail(card_p, card_p + cards[end], tau_frac)) {
+      ++end;
+    }
+    pairs += end - (p + 1);
+  }
+  return pairs;
+}
+
+size_t RectangleWindowPairs(const uint32_t* cards_a, size_t n_a,
+                            const uint32_t* cards_b, size_t n_b, double tau,
+                            bool prefilter) {
+  if (n_a == 0 || n_b == 0) return 0;
+  if (!prefilter) return n_a * n_b;
+  const double tau_frac = tau / (1.0 + tau);
+  size_t pairs = 0;
+  size_t lo = 0, hi = 0;
+  // Both window ends are non-decreasing in the a-row's cardinality (the
+  // same partition points ScanRectTile binary-searches per row).
+  for (size_t p = 0; p < n_a; ++p) {
+    const double card_a = cards_a[p];
+    while (lo < n_b &&
+           scan::CardinalityFail(cards_b[lo], card_a + cards_b[lo],
+                                 tau_frac)) {
+      ++lo;
+    }
+    if (hi < lo) hi = lo;
+    while (hi < n_b &&
+           !scan::CardinalityFail(card_a, card_a + cards_b[hi], tau_frac)) {
+      ++hi;
+    }
+    pairs += hi - lo;
+  }
+  return pairs;
+}
+
+namespace {
+
+/// Parses a sysfs cache size string ("48K", "2048K", "260M") to bytes;
+/// 0 on anything unexpected.
+size_t ParseCacheSize(const std::string& text) {
+  size_t value = 0;
+  size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i >= text.size()) return value;
+  if (text[i] == 'K') return value << 10;
+  if (text[i] == 'M') return value << 20;
+  if (text[i] == 'G') return value << 30;
+  return value;
+}
+
+/// Per-core cache budget for one tile's working set: min(L2, LLC/cores)
+/// from /sys/devices/system/cpu/cpu0/cache, with a 256 KiB fallback when
+/// the hierarchy cannot be read (non-Linux, sandboxes).
+size_t DetectPerCoreCacheBytes() {
+  size_t l2 = 0;
+  size_t llc = 0;
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(idx);
+    std::ifstream type_file(base + "/type");
+    std::ifstream level_file(base + "/level");
+    std::ifstream size_file(base + "/size");
+    if (!type_file || !level_file || !size_file) continue;
+    std::string type, size_text;
+    int level = 0;
+    type_file >> type;
+    level_file >> level;
+    size_file >> size_text;
+    if (type == "Instruction") continue;
+    const size_t bytes = ParseCacheSize(size_text);
+    if (bytes == 0) continue;
+    if (level == 2) l2 = std::max(l2, bytes);
+    llc = std::max(llc, bytes);
+  }
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  size_t budget = l2;
+  if (llc != 0) {
+    const size_t llc_share = std::max<size_t>(llc / cores, size_t{64} << 10);
+    budget = budget == 0 ? llc_share : std::min(budget, llc_share);
+  }
+  return budget == 0 ? size_t{256} << 10 : budget;
+}
+
+}  // namespace
+
+size_t AdaptiveTileRows(size_t words_per_row) {
+  static const size_t budget = DetectPerCoreCacheBytes();
+  const size_t words = words_per_row == 0 ? 1 : words_per_row;
+  // Two resident row ranges of 8-byte words per tile; target half the
+  // budget so per-unit output buffers and the partner stream fit too.
+  size_t tile = (budget / 2) / (2 * words * sizeof(uint64_t));
+  tile &= ~size_t{7};
+  return std::min<size_t>(std::max<size_t>(tile, 64), 2048);
+}
+
+}  // namespace vos::core::optimizer

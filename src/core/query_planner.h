@@ -151,6 +151,19 @@ class QueryPlanner {
 
   const QueryOptions& query_options() const { return query_options_; }
 
+  /// The optimizer's verdicts for every pass AllPairsAbove(τ) would run,
+  /// in pass order (the S same-shard triangles with ≥ 2 rows, then the
+  /// cross-shard rectangles with two non-empty sides). The decision code
+  /// is shared with AllPairsAbove, so each report predicts the executed
+  /// plan (core/query_optimizer.h).
+  std::vector<optimizer::PassReport> PlanAllPairs(
+      double jaccard_threshold) const;
+
+  /// Recall feedback fan-out: forwards to every shard index's
+  /// ReportMeasuredRecall, so an undershoot re-plans every pass of the
+  /// next snapshot exact (rectangles consult both sides' feedback bits).
+  void ReportMeasuredRecall(double recall) const;
+
   /// Task-level worker count for subsequent Rebuild/Refresh/queries
   /// (0 = hardware concurrency). Results are bit-identical for every
   /// value, so a long-lived planner can follow
@@ -165,6 +178,13 @@ class QueryPlanner {
   /// `warm_seed` (≤ 0 = cold). A positive seed may prune entries the
   /// final result needs, so TopK() verifies and reruns cold.
   std::vector<Entry> TopKImpl(UserId query, size_t k, double warm_seed) const;
+
+  /// The shared stats → plan decision for the cross-shard rectangle
+  /// s × t at `jaccard_threshold` (see SimilarityIndex::PlanTrianglePass
+  /// for the triangle twin).
+  optimizer::PassReport PlanRectanglePass(uint32_t s, uint32_t t,
+                                          double jaccard_threshold,
+                                          bool prefilter) const;
 
   /// Global id of shard s's matrix row p.
   UserId GlobalOfRow(uint32_t s, size_t p) const;

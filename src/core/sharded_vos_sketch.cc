@@ -19,13 +19,27 @@ namespace {
 constexpr uint64_t kRouterTag = 0x40a7e0;
 constexpr uint64_t kShardFTag = 0x5a4d00;
 
-/// Producer spin budget on a full ring before parking, and worker spin
-/// budget on empty rings before parking. Each round yields: with fewer
-/// cores than threads the counterpart NEEDS this core to make progress,
-/// and with plenty of cores a yield is still cheaper than a park/unpark
-/// round-trip for the common microsecond-scale stall.
-constexpr int kPushSpinRounds = 64;
-constexpr int kIdleSpinRounds = 64;
+/// Adaptive spin budgets before parking (producer on a full ring, worker
+/// on empty rings). Each round yields: with fewer cores than threads the
+/// counterpart NEEDS this core to make progress, and with plenty of
+/// cores a yield is still cheaper than a park/unpark round-trip for the
+/// common microsecond-scale stall. The budget adapts per lane / worker
+/// from measured park rates within [kSpinBudgetMin, kSpinBudgetMax]:
+/// when spinning made the park unnecessary it grows ~12%, when the
+/// thread parked anyway it halves — long stalls converge on cheap early
+/// parks, micro-stalls converge on pure spinning. Purely a performance
+/// knob: every park/wake handshake and Flush/poisoning contract is
+/// untouched by the budget's value.
+constexpr uint32_t kSpinBudgetMin = 16;
+constexpr uint32_t kSpinBudgetMax = 512;
+
+uint32_t GrownSpinBudget(uint32_t budget) {
+  return std::min(kSpinBudgetMax, budget + budget / 8 + 1);
+}
+
+uint32_t ShrunkSpinBudget(uint32_t budget) {
+  return std::max(kSpinBudgetMin, budget / 2);
+}
 
 /// Construction-time footprint estimate for the memory-budget validation:
 /// shard arrays (word-rounded) plus per-user state (cardinality counter,
@@ -404,14 +418,25 @@ bool ShardedVosSketch::PushWithBackPressure(
     IngestLane& lane, uint32_t shard, std::vector<stream::Element>& batch) {
   // Bounded spin: the common full-ring stall is the worker being
   // mid-batch for microseconds. Yield each round — with fewer cores than
-  // threads the worker needs this core to make room.
-  for (int spin = 0; spin < kPushSpinRounds; ++spin) {
+  // threads the worker needs this core to make room. The budget is this
+  // lane's adaptive one (see kSpinBudget*).
+  const uint32_t spin_budget =
+      lane.push_spin_budget.load(std::memory_order_relaxed);
+  for (uint32_t spin = 0; spin < spin_budget; ++spin) {
     std::this_thread::yield();
-    if (lane.ring.TryPush(batch)) return true;
+    if (lane.ring.TryPush(batch)) {
+      lane.push_spin_budget.store(GrownSpinBudget(spin_budget),
+                                  std::memory_order_relaxed);
+      lane.push_spin_saves.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
     if (degraded_.load(std::memory_order_relaxed) && ShardPoisoned(shard)) {
       return false;
     }
   }
+  lane.push_spin_budget.store(ShrunkSpinBudget(spin_budget),
+                              std::memory_order_relaxed);
+  lane.push_parks.fetch_add(1, std::memory_order_relaxed);
   // Park on the lane's condvar. Flag → fence → recheck pairs with the
   // consumer's pop → fence → flag load: either our recheck sees the
   // room, or the consumer sees the flag and notifies under park_mu.
@@ -534,7 +559,8 @@ bool ShardedVosSketch::PopNextBatch(unsigned worker, size_t* cursor,
                                     std::vector<stream::Element>* batch) {
   const std::vector<size_t>& my_lanes = worker_lanes_[worker];
   WorkerSlot& slot = worker_slots_[worker];
-  int idle_rounds = 0;
+  uint32_t idle_budget = slot.idle_spin_budget.load(std::memory_order_relaxed);
+  uint32_t idle_rounds = 0;
   for (;;) {
     // Round-robin over the worker's lanes so no producer's ring is
     // starved while another lane stays hot.
@@ -542,6 +568,13 @@ bool ShardedVosSketch::PopNextBatch(unsigned worker, size_t* cursor,
       const size_t candidate = my_lanes[(*cursor + i) % my_lanes.size()];
       IngestLane& lane = lanes_[candidate];
       if (lane.ring.TryPop(batch)) {
+        if (idle_rounds > 0) {
+          // Idle spinning beat a park: spend a little more next stall.
+          idle_budget = GrownSpinBudget(idle_budget);
+          slot.idle_spin_budget.store(idle_budget,
+                                      std::memory_order_relaxed);
+          slot.idle_spin_saves.fetch_add(1, std::memory_order_relaxed);
+        }
         *cursor = (*cursor + i + 1) % my_lanes.size();
         *lane_index = candidate;
         // Room just opened: unpark the lane's producer NOW, before the
@@ -558,11 +591,14 @@ bool ShardedVosSketch::PopNextBatch(unsigned worker, size_t* cursor,
       }
     }
     if (stopping_.load(std::memory_order_relaxed)) return false;
-    if (++idle_rounds <= kIdleSpinRounds) {
+    if (++idle_rounds <= idle_budget) {
       std::this_thread::yield();
       continue;
     }
     idle_rounds = 0;
+    idle_budget = ShrunkSpinBudget(idle_budget);
+    slot.idle_spin_budget.store(idle_budget, std::memory_order_relaxed);
+    slot.idle_parks.fetch_add(1, std::memory_order_relaxed);
     // Park: publish the flag, then re-check under slot.mu — a producer
     // that pushed before seeing the flag is caught by the predicate's
     // rescan; one that sees it notifies under slot.mu. No lost wakeups.
@@ -788,6 +824,35 @@ Status ShardedVosSketch::IngestStatus() const {
 
 uint64_t ShardedVosSketch::dropped_elements() const {
   return dropped_elements_.load(std::memory_order_relaxed);
+}
+
+ShardedVosSketch::SpinStats ShardedVosSketch::IngestSpinStats() const {
+  SpinStats stats;
+  if (!async()) return stats;  // no lanes, no budgets
+  const size_t lane_count =
+      static_cast<size_t>(producers_) * router_.num_shards();
+  for (size_t l = 0; l < lane_count; ++l) {
+    stats.push_parks += lanes_[l].push_parks.load(std::memory_order_relaxed);
+    stats.push_spin_saves +=
+        lanes_[l].push_spin_saves.load(std::memory_order_relaxed);
+    const uint32_t budget =
+        lanes_[l].push_spin_budget.load(std::memory_order_relaxed);
+    stats.min_push_spin_budget =
+        l == 0 ? budget : std::min(stats.min_push_spin_budget, budget);
+    stats.max_push_spin_budget = std::max(stats.max_push_spin_budget, budget);
+  }
+  for (size_t w = 0; w < worker_threads_.size(); ++w) {
+    stats.idle_parks +=
+        worker_slots_[w].idle_parks.load(std::memory_order_relaxed);
+    stats.idle_spin_saves +=
+        worker_slots_[w].idle_spin_saves.load(std::memory_order_relaxed);
+    const uint32_t budget =
+        worker_slots_[w].idle_spin_budget.load(std::memory_order_relaxed);
+    stats.min_idle_spin_budget =
+        w == 0 ? budget : std::min(stats.min_idle_spin_budget, budget);
+    stats.max_idle_spin_budget = std::max(stats.max_idle_spin_budget, budget);
+  }
+  return stats;
 }
 
 Status ShardedVosSketch::Checkpoint(const std::string& path) {

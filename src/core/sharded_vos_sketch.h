@@ -242,6 +242,24 @@ class ShardedVosSketch {
   /// Zero on a healthy pipeline.
   uint64_t dropped_elements() const;
 
+  /// Observability of the adaptive SPSC spin budgets: counters are sums
+  /// over every producer lane / worker slot since construction, budgets
+  /// are the current per-lane / per-worker values (min/max across them;
+  /// all zero in synchronous mode, which has no lanes). A park/save
+  /// ratio near zero means the budgets have converged on spinning;
+  /// near one means the stalls are long and parking is right.
+  struct SpinStats {
+    uint64_t push_parks = 0;       ///< producer parks on full rings
+    uint64_t push_spin_saves = 0;  ///< pushes that landed within the budget
+    uint64_t idle_parks = 0;       ///< worker parks on empty rings
+    uint64_t idle_spin_saves = 0;  ///< pops that landed after ≥ 1 idle round
+    uint32_t min_push_spin_budget = 0;
+    uint32_t max_push_spin_budget = 0;
+    uint32_t min_idle_spin_budget = 0;
+    uint32_t max_idle_spin_budget = 0;
+  };
+  SpinStats IngestSpinStats() const;
+
   // --- Durability (see file comment and core/vos_io.h) ------------------
 
   /// Per-lane ingest watermarks: watermark[p] = elements accepted on
@@ -370,6 +388,13 @@ class ShardedVosSketch {
     /// the order is enforced by VOS_EXCLUDES(mu_) on every acquirer).
     Mutex park_mu;
     CondVar park_cv;
+    /// Adaptive spin budget on a full ring before parking (bounds in the
+    /// .cc): grown when spinning made the park unnecessary, halved when
+    /// the producer parked anyway. Written only by the lane's producer;
+    /// atomic so IngestSpinStats() may read it from any thread.
+    std::atomic<uint32_t> push_spin_budget{64};
+    std::atomic<uint64_t> push_parks{0};
+    std::atomic<uint64_t> push_spin_saves{0};
   };
 
   /// Per-worker parking spot for idle workers: the worker sets `parked`,
@@ -382,6 +407,11 @@ class ShardedVosSketch {
     /// Park-path leaf lock, same ordering rule as IngestLane::park_mu.
     Mutex mu;
     CondVar cv;
+    /// Adaptive spin budget on empty rings before parking (twin of
+    /// IngestLane::push_spin_budget; written only by the owning worker).
+    std::atomic<uint32_t> idle_spin_budget{64};
+    std::atomic<uint64_t> idle_parks{0};
+    std::atomic<uint64_t> idle_spin_saves{0};
   };
 
   bool async() const { return !worker_threads_.empty(); }

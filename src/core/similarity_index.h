@@ -52,12 +52,14 @@
 
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bit_vector.h"
 #include "core/digest_matrix.h"
 #include "core/pair_scan.h"
+#include "core/query_optimizer.h"
 #include "core/scan_common.h"
 #include "core/vos_estimator.h"
 #include "core/vos_sketch.h"
@@ -102,6 +104,25 @@ struct QueryOptions {
   /// bit is one parity row). Must be in [1, 64]. More bits per band cut
   /// candidates harder but lower per-band collision probability.
   uint32_t banding_rows_per_band = 8;
+  /// Degenerate-bucket guard (pair_scan::BandingTable): key runs longer
+  /// than this are split into max_bucket-sized cohorts and banded
+  /// candidates are enumerated within cohorts only, bounding candidate
+  /// generation by O(run · max_bucket) per bucket even when sparse
+  /// digests collapse ~n rows into one all-zero bucket. Costs recall on
+  /// pairs straddling a cohort boundary; 0 disables the guard.
+  uint32_t banding_max_bucket = 1024;
+  /// Recall floor for the optimizer's feedback loop: when a banded
+  /// AllPairsAbove's measured recall (reported via ReportMeasuredRecall)
+  /// falls below this, the NEXT snapshot (Rebuild/RefreshDirty) plans
+  /// this index's passes exact until a snapshot completes without an
+  /// undershoot. 0 (the default) disables the feedback.
+  double banding_recall_floor = 0.0;
+  /// Per-pass plan selection for AllPairsAbove/TopK
+  /// (core/query_optimizer.h): kAuto prices the exact vs banded plan
+  /// with calibrated kernel costs per pass; the force modes pin it
+  /// (kForceBanded degrades to exact where no banding table exists).
+  /// The VOS_PLAN env var overrides this per query when set.
+  optimizer::PlanMode plan = optimizer::PlanMode::kAuto;
   /// Optimistic warm seed for QueryPlanner::TopK's shared raise-only
   /// threshold bound (≤ 0 = cold start, the default). Any value is
   /// safe: the result is verified to dominate the seed and the scan
@@ -262,6 +283,39 @@ class SimilarityIndex {
     query_options_ = options;
   }
 
+  /// The optimizer's verdict for this snapshot's all-pairs triangle at
+  /// `jaccard_threshold`: the same statistics → cost → plan decision
+  /// AllPairsAbove(jaccard_threshold) would execute (shared code path),
+  /// exposed for diagnostics, benches and tests.
+  optimizer::PassReport PlanAllPairs(double jaccard_threshold) const;
+
+  /// Feedback input of the optimizer's recall loop: callers that measure
+  /// a banded query's recall against the exact path report it here. When
+  /// it undercuts QueryOptions::banding_recall_floor the NEXT snapshot
+  /// re-plans this index exact (auto mode only; forced modes are never
+  /// overridden). Thread-safe and const — queries are const and
+  /// concurrent; the flag is latched into planning state only at the
+  /// next Rebuild/RefreshDirty, which the snapshot contract already
+  /// serializes against queries.
+  void ReportMeasuredRecall(double recall) const;
+
+  /// True when recall feedback has forced this snapshot's plans exact.
+  bool banding_feedback_force_exact() const {
+    return banding_feedback_force_exact_;
+  }
+
+  /// Affected-candidate fraction of the last snapshot (1.0 after a full
+  /// Rebuild) — the optimizer's banding-upkeep statistic.
+  double last_refresh_dirty_fraction() const {
+    return last_refresh_dirty_fraction_;
+  }
+
+  /// Plan the most recent TopK executed with (diagnostic; relaxed, so
+  /// only meaningful once the call that set it returned).
+  optimizer::PlanKind last_topk_plan() const {
+    return last_topk_plan_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Recomputes the cardinality-sorted order and every row map from
   /// candidates_/cardinalities_ (shared by Rebuild and RefreshDirty, so
@@ -271,6 +325,16 @@ class SimilarityIndex {
   /// (Re)builds banding_ from the current matrix_ when banding is on;
   /// clears it otherwise. Called at the end of Rebuild and RefreshDirty.
   void RebuildBanding();
+
+  /// Latches pending recall feedback into banding_feedback_force_exact_
+  /// (called at every snapshot boundary, where queries are quiescent).
+  void AbsorbRecallFeedback();
+
+  /// The shared stats → plan decision for this snapshot's triangle pass
+  /// (used verbatim by PlanAllPairs and AllPairsAbove, so the report
+  /// always predicts the execution).
+  optimizer::PassReport PlanTrianglePass(double jaccard_threshold,
+                                         bool prefilter) const;
 
   /// Reference-path estimate from two BitVector digests.
   PairEstimate EstimateFromDigests(const BitVector& a, uint32_t card_a,
@@ -317,6 +381,18 @@ class SimilarityIndex {
   /// LSH banding table over matrix_ (empty unless
   /// QueryOptions::banding_bands > 0); see banding_table().
   pair_scan::BandingTable banding_;
+  /// Affected fraction of the last snapshot (1.0 for a full Rebuild) —
+  /// feeds PassStats::dirty_fraction.
+  double last_refresh_dirty_fraction_ = 1.0;
+  /// Recall-feedback latch: queries set the pending flag (const +
+  /// concurrent, hence atomic); snapshots exchange it into the plain
+  /// planning bit below, which queries then read race-free under the
+  /// snapshot immutability contract.
+  mutable std::atomic<bool> pending_recall_force_exact_{false};
+  bool banding_feedback_force_exact_ = false;
+  /// Diagnostic: plan of the most recent TopK (see last_topk_plan()).
+  mutable std::atomic<optimizer::PlanKind> last_topk_plan_{
+      optimizer::PlanKind::kExact};
 
   // --- Incremental-maintenance state (QueryOptions::incremental) -------
   /// The sketch array words as of the last snapshot; XOR against the live
